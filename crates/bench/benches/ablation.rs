@@ -1,0 +1,206 @@
+//! Ablation benches for the design choices called out in DESIGN.md §8:
+//! re-injection priority, cut-through vs store-and-forward re-injection,
+//! the alternative-route cap, the in-transit pool size, and the spanning
+//! tree root placement. Each configuration's reproduced metric (accepted
+//! traffic / latency) is printed once; Criterion times the runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use regnet_core::{ItbHostPicker, RouteDbConfig, RoutingScheme};
+use regnet_netsim::experiment::{Experiment, RunOptions};
+use regnet_netsim::SimConfig;
+use regnet_topology::{gen, SwitchId};
+use regnet_traffic::PatternSpec;
+
+fn opts() -> RunOptions {
+    RunOptions {
+        warmup_cycles: 3_000,
+        measure_cycles: 12_000,
+        seed: 2,
+    }
+}
+
+fn base_cfg() -> SimConfig {
+    SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    }
+}
+
+fn run_cell(c: &mut Criterion, group: &str, name: &str, cfg: SimConfig, db_cfg: RouteDbConfig) {
+    let exp = Experiment::new(
+        gen::torus_2d(4, 4, 4).unwrap(),
+        RoutingScheme::ItbRr,
+        db_cfg,
+        PatternSpec::Uniform,
+        cfg,
+    )
+    .expect("experiment");
+    let offered = 0.012;
+    let p = exp.run_point(offered, &opts());
+    eprintln!(
+        "[{group}/{name}] accepted {:.4} latency {:.0} ns itbs {:.2}",
+        p.accepted, p.avg_latency_ns, p.avg_itbs_per_msg
+    );
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function(name, |b| {
+        b.iter(|| black_box(exp.run_point(black_box(offered), &opts())))
+    });
+    g.finish();
+}
+
+/// Ablation 1 — do re-injected packets preempt local traffic at the NIC?
+fn itb_priority(c: &mut Criterion) {
+    for (name, prio) in [("priority", true), ("fifo", false)] {
+        run_cell(
+            c,
+            "ablation_itb_priority",
+            name,
+            SimConfig {
+                itb_priority: prio,
+                ..base_cfg()
+            },
+            RouteDbConfig::default(),
+        );
+    }
+}
+
+/// Ablation 2 — cut-through re-injection vs store-and-forward.
+fn cut_through(c: &mut Criterion) {
+    for (name, ct) in [("cut_through", true), ("store_and_forward", false)] {
+        run_cell(
+            c,
+            "ablation_reinjection",
+            name,
+            SimConfig {
+                itb_cut_through: ct,
+                ..base_cfg()
+            },
+            RouteDbConfig::default(),
+        );
+    }
+}
+
+/// Ablation 3 — the 10-alternative route cap of the paper, swept.
+fn route_cap(c: &mut Criterion) {
+    for cap in [1usize, 2, 4, 10, 32] {
+        run_cell(
+            c,
+            "ablation_route_cap",
+            &format!("cap_{cap}"),
+            base_cfg(),
+            RouteDbConfig {
+                max_alternatives: cap,
+                ..RouteDbConfig::default()
+            },
+        );
+    }
+}
+
+/// Ablation 4 — in-transit pool size (90 KB in the paper) and the host
+/// memory overflow path.
+fn pool_size(c: &mut Criterion) {
+    for (name, flits) in [
+        ("pool_2kb", 2 * 1024),
+        ("pool_90kb", 90 * 1024),
+        ("pool_1mb", 1024 * 1024),
+    ] {
+        run_cell(
+            c,
+            "ablation_itb_pool",
+            name,
+            SimConfig {
+                itb_pool_flits: flits,
+                ..base_cfg()
+            },
+            RouteDbConfig::default(),
+        );
+    }
+}
+
+/// Ablation 5 — spanning-tree root placement (corner vs centre).
+fn root_choice(c: &mut Criterion) {
+    for (name, root) in [("corner_s0", SwitchId(0)), ("centre_s5", SwitchId(5))] {
+        run_cell(
+            c,
+            "ablation_root",
+            name,
+            base_cfg(),
+            RouteDbConfig {
+                root,
+                ..RouteDbConfig::default()
+            },
+        );
+    }
+}
+
+/// Ablation 6 — the in-transit host picker (first host vs spread).
+fn itb_picker(c: &mut Criterion) {
+    for (name, picker) in [
+        ("first", ItbHostPicker::First),
+        ("spread", ItbHostPicker::Spread),
+    ] {
+        run_cell(
+            c,
+            "ablation_itb_picker",
+            name,
+            base_cfg(),
+            RouteDbConfig {
+                itb_picker: picker,
+                ..RouteDbConfig::default()
+            },
+        );
+    }
+}
+
+/// Ablation 7 — path-selection policy, including the ITB-RND extension
+/// (seeded random choice among the alternatives; the direction of the
+/// paper's "future work" on source-level selection algorithms).
+fn selection_policy(c: &mut Criterion) {
+    for scheme in RoutingScheme::extended() {
+        if scheme == RoutingScheme::UpDown {
+            continue;
+        }
+        let exp = Experiment::new(
+            gen::torus_2d(4, 4, 4).unwrap(),
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            base_cfg(),
+        )
+        .expect("experiment");
+        let offered = 0.012;
+        let p = exp.run_point(offered, &opts());
+        eprintln!(
+            "[ablation_policy/{}] accepted {:.4} latency {:.0} ns itbs {:.2}",
+            scheme.label(),
+            p.accepted,
+            p.avg_latency_ns,
+            p.avg_itbs_per_msg
+        );
+        let mut g = c.benchmark_group("ablation_policy");
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| black_box(exp.run_point(black_box(offered), &opts())))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    itb_priority,
+    cut_through,
+    route_cap,
+    pool_size,
+    root_choice,
+    itb_picker,
+    selection_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Criterion benches, one per table/figure of the paper.
+//!
+//! Each bench runs a scaled-down version of the corresponding experiment
+//! cell (4x4 torus / 64 hosts / 64-byte messages, short windows) so that
+//! `cargo bench` finishes in minutes while still exercising exactly the
+//! code paths the full harness uses. The full-scale regeneration lives in
+//! the `regnet-bench` binaries (`fig07_uniform`, `table1_hotspot_torus`, …).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use regnet_bench::Topo;
+use regnet_core::{RouteDbConfig, RoutingScheme};
+use regnet_netsim::experiment::{Experiment, RunOptions};
+use regnet_netsim::SimConfig;
+use regnet_topology::HostId;
+use regnet_traffic::PatternSpec;
+
+fn small_cfg() -> SimConfig {
+    SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    }
+}
+
+fn quick_opts() -> RunOptions {
+    RunOptions {
+        warmup_cycles: 3_000,
+        measure_cycles: 12_000,
+        seed: 1,
+    }
+}
+
+fn bench_cell(c: &mut Criterion, id: &str, topo: Topo, pattern: PatternSpec, offered: f64) {
+    let mut group = c.benchmark_group(id);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scheme in RoutingScheme::all() {
+        let exp = Experiment::new(
+            topo.build_small(),
+            scheme,
+            RouteDbConfig::default(),
+            pattern,
+            small_cfg(),
+        )
+        .expect("experiment");
+        // Report the reproduced metric once, outside the timing loop.
+        let p = exp.run_point(offered, &quick_opts());
+        eprintln!(
+            "[{id} / {}] accepted {:.4} fl/ns/sw, latency {:.0} ns, itbs {:.2}",
+            scheme.label(),
+            p.accepted,
+            p.avg_latency_ns,
+            p.avg_itbs_per_msg
+        );
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| black_box(exp.run_point(black_box(offered), &quick_opts())))
+        });
+    }
+    group.finish();
+}
+
+fn fig07(c: &mut Criterion) {
+    bench_cell(
+        c,
+        "fig07a_torus_uniform",
+        Topo::Torus,
+        PatternSpec::Uniform,
+        0.010,
+    );
+    bench_cell(
+        c,
+        "fig07b_express_uniform",
+        Topo::Express,
+        PatternSpec::Uniform,
+        0.020,
+    );
+    bench_cell(
+        c,
+        "fig07c_cplant_uniform",
+        Topo::Cplant,
+        PatternSpec::Uniform,
+        0.010,
+    );
+}
+
+fn fig10(c: &mut Criterion) {
+    bench_cell(
+        c,
+        "fig10a_torus_bitrev",
+        Topo::Torus,
+        PatternSpec::BitReversal,
+        0.010,
+    );
+    bench_cell(
+        c,
+        "fig10b_express_bitrev",
+        Topo::Express,
+        PatternSpec::BitReversal,
+        0.020,
+    );
+}
+
+fn fig12(c: &mut Criterion) {
+    let local = PatternSpec::Local { max_switch_dist: 3 };
+    bench_cell(c, "fig12a_torus_local", Topo::Torus, local, 0.030);
+    bench_cell(c, "fig12b_express_local", Topo::Express, local, 0.040);
+    bench_cell(c, "fig12c_cplant_local", Topo::Cplant, local, 0.030);
+}
+
+fn tables(c: &mut Criterion) {
+    // Tables 1-3: hotspot traffic on each topology. The bench measures a
+    // single loaded point; the binaries run the full throughput search.
+    bench_cell(
+        c,
+        "table1_torus_hotspot",
+        Topo::Torus,
+        PatternSpec::Hotspot {
+            fraction: 0.05,
+            host: HostId(13),
+        },
+        0.008,
+    );
+    bench_cell(
+        c,
+        "table2_express_hotspot",
+        Topo::Express,
+        PatternSpec::Hotspot {
+            fraction: 0.03,
+            host: HostId(13),
+        },
+        0.015,
+    );
+    bench_cell(
+        c,
+        "table3_cplant_hotspot",
+        Topo::Cplant,
+        PatternSpec::Hotspot {
+            fraction: 0.05,
+            host: HostId(13),
+        },
+        0.008,
+    );
+}
+
+fn linkutil(c: &mut Criterion) {
+    // Figures 8, 9, 11: link-utilization snapshots.
+    let mut group = c.benchmark_group("fig08_09_11_linkutil");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (id, topo, pattern, offered) in [
+        ("fig08_torus", Topo::Torus, PatternSpec::Uniform, 0.010),
+        ("fig09_express", Topo::Express, PatternSpec::Uniform, 0.020),
+        (
+            "fig11_torus_hotspot",
+            Topo::Torus,
+            PatternSpec::Hotspot {
+                fraction: 0.10,
+                host: HostId(21),
+            },
+            0.008,
+        ),
+    ] {
+        let exp = Experiment::new(
+            topo.build_small(),
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            pattern,
+            small_cfg(),
+        )
+        .expect("experiment");
+        let (util, _) = exp.link_utilization(offered, &quick_opts());
+        eprintln!(
+            "[{id}] link util mean {:.1}% max {:.1}% imbalance {:.2}",
+            util.mean() * 100.0,
+            util.max() * 100.0,
+            util.imbalance()
+        );
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(exp.link_utilization(black_box(offered), &quick_opts())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig07, fig10, fig12, tables, linkutil);
+criterion_main!(benches);

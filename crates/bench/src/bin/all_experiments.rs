@@ -1,0 +1,68 @@
+//! Runs every experiment of the paper (Figures 7-12, Tables 1-3, route
+//! statistics) and writes a combined report to
+//! `target/experiments/report.txt` plus per-experiment JSON.
+//!
+//! Usage: `all_experiments [--full]`  — quick mode takes tens of minutes on
+//! one core; full mode is several hours.
+
+use std::io::Write;
+
+use regnet_bench::experiments::*;
+use regnet_bench::{save_curves, Mode, Topo};
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut report = String::new();
+    let mut add = |s: String| {
+        print!("{s}");
+        report.push_str(&s);
+    };
+
+    add(route_stats().render());
+
+    for (topo, tag) in [
+        (Topo::Torus, "torus"),
+        (Topo::Express, "express"),
+        (Topo::Cplant, "cplant"),
+    ] {
+        let fig = fig07(topo, mode);
+        add(fig.render());
+        save_curves(&format!("fig07_{tag}"), &fig.curves);
+    }
+    for (topo, tag) in [(Topo::Torus, "torus"), (Topo::Express, "express")] {
+        let fig = fig10(topo, mode);
+        add(fig.render());
+        save_curves(&format!("fig10_{tag}"), &fig.curves);
+    }
+    for (topo, tag) in [
+        (Topo::Torus, "torus"),
+        (Topo::Express, "express"),
+        (Topo::Cplant, "cplant"),
+    ] {
+        let fig = fig12(topo, mode);
+        add(fig.render());
+        save_curves(&format!("fig12_{tag}"), &fig.curves);
+    }
+
+    let f8 = fig08(mode);
+    add(f8.render());
+    for snap in &f8.snapshots {
+        add(format!("\n{}\n", switch_grid_map(snap, 8, 64)));
+    }
+    let f9 = fig09(mode);
+    add(f9.render());
+    let f11 = fig11(mode);
+    add(f11.render());
+    for snap in &f11.snapshots {
+        add(format!("\n{}\n", switch_grid_map(snap, 8, 64)));
+    }
+
+    add(table1(mode).render());
+    add(table2(mode).render());
+    add(table3(mode).render());
+
+    std::fs::create_dir_all("target/experiments").ok();
+    let mut f = std::fs::File::create("target/experiments/report.txt").expect("report file");
+    f.write_all(report.as_bytes()).expect("write report");
+    println!("\n[report saved to target/experiments/report.txt]");
+}

@@ -1,0 +1,16 @@
+//! Development diagnostic: run the paper torus under ITB-SP at low load and
+//! dump where live packets are parked.
+
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_netsim::{SimConfig, Simulator};
+use regnet_topology::gen;
+use regnet_traffic::{Pattern, PatternSpec};
+
+fn main() {
+    let topo = gen::torus_2d(8, 8, 8).unwrap();
+    let db = RouteDb::build(&topo, RoutingScheme::ItbSp, &RouteDbConfig::default());
+    let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+    let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), 0.001, 1);
+    sim.run(200_000);
+    println!("{}", sim.dump_state());
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Figure 7**: average latency vs accepted traffic under
+//! uniform traffic on the 2-D torus (a), torus with express channels (b)
+//! and CPLANT (c).
+//!
+//! Usage: `fig07_uniform [--topo torus|express|cplant|all] [--full]`
+
+use regnet_bench::experiments::fig07;
+use regnet_bench::{save_curves, Mode, Topo};
+
+fn main() {
+    let mode = Mode::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let sel = args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let topos: Vec<Topo> = match sel {
+        "all" => vec![Topo::Torus, Topo::Express, Topo::Cplant],
+        s => vec![Topo::parse(s).expect("unknown --topo (torus|express|cplant|all)")],
+    };
+    for topo in topos {
+        let fig = fig07(topo, mode);
+        print!("{}", fig.render());
+        save_curves(&format!("fig07_{sel}_{}", name_of(topo)), &fig.curves);
+    }
+}
+
+fn name_of(t: Topo) -> &'static str {
+    match t {
+        Topo::Torus => "torus",
+        Topo::Express => "express",
+        Topo::Cplant => "cplant",
+    }
+}

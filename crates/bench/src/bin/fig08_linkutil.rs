@@ -1,0 +1,17 @@
+//! Regenerates **Figure 8**: link utilization in the 2-D torus under
+//! uniform traffic — UP/DOWN at its saturation point (0.015
+//! flits/ns/switch), ITB-RR at the same load, and ITB-RR at 0.03. Renders
+//! the paper's greyscale maps as an 8×8 per-switch utilization grid.
+//!
+//! Usage: `fig08_linkutil [--full]`
+
+use regnet_bench::experiments::{fig08, switch_grid_map};
+use regnet_bench::Mode;
+
+fn main() {
+    let report = fig08(Mode::from_args());
+    print!("{}", report.render());
+    for snap in &report.snapshots {
+        println!("\n{}", switch_grid_map(snap, 8, 64));
+    }
+}

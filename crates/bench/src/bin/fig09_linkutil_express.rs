@@ -1,0 +1,41 @@
+//! Regenerates **Figure 9**: link utilization in the 2-D torus with
+//! express channels at UP/DOWN's saturation point (0.066 flits/ns/switch),
+//! for UP/DOWN and ITB-RR, separating express channels from ordinary torus
+//! links (the paper: express ≈25%, local links ≈10% under ITB-RR).
+//!
+//! Usage: `fig09_linkutil_express [--full]`
+
+use regnet_bench::experiments::{fig09, switch_grid_map};
+use regnet_bench::Mode;
+use regnet_topology::{NodeId, SwitchId};
+
+fn main() {
+    let report = fig09(Mode::from_args());
+    print!("{}", report.render());
+    // Split utilization by channel class: express channels connect switches
+    // two hops apart in a torus dimension.
+    for snap in &report.snapshots {
+        let (mut ex, mut nex) = (Vec::new(), Vec::new());
+        for (d, &u) in snap.descs.iter().zip(&snap.summary.per_channel) {
+            if let (NodeId::Switch(SwitchId(a)), NodeId::Switch(SwitchId(b))) = (d.from, d.to) {
+                let (ra, ca) = ((a / 8) as i32, (a % 8) as i32);
+                let (rb, cb) = ((b / 8) as i32, (b % 8) as i32);
+                let dr = (ra - rb).rem_euclid(8).min((rb - ra).rem_euclid(8));
+                let dc = (ca - cb).rem_euclid(8).min((cb - ca).rem_euclid(8));
+                if dr + dc == 2 {
+                    ex.push(u);
+                } else {
+                    nex.push(u);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "\n{}: express channels mean {:.1}%  ordinary links mean {:.1}%",
+            snap.label,
+            mean(&ex) * 100.0,
+            mean(&nex) * 100.0
+        );
+        println!("{}", switch_grid_map(snap, 8, 64));
+    }
+}

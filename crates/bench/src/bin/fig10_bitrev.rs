@@ -1,0 +1,36 @@
+//! Regenerates **Figure 10**: latency vs accepted traffic under the
+//! bit-reversal permutation on the 2-D torus (a) and the torus with
+//! express channels (b). CPLANT is excluded (400 hosts is not a power of
+//! two), exactly as in the paper.
+//!
+//! Usage: `fig10_bitrev [--topo torus|express|all] [--full]`
+
+use regnet_bench::experiments::fig10;
+use regnet_bench::{save_curves, Mode, Topo};
+
+fn main() {
+    let mode = Mode::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let sel = args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let topos: Vec<Topo> = match sel {
+        "all" => vec![Topo::Torus, Topo::Express],
+        "torus" => vec![Topo::Torus],
+        "express" => vec![Topo::Express],
+        other => panic!("--topo {other} not valid for bit-reversal (torus|express|all)"),
+    };
+    for topo in topos {
+        let fig = fig10(topo, mode);
+        print!("{}", fig.render());
+        let tag = if topo == Topo::Torus {
+            "torus"
+        } else {
+            "express"
+        };
+        save_curves(&format!("fig10_{tag}"), &fig.curves);
+    }
+}

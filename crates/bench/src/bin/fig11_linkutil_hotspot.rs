@@ -1,0 +1,18 @@
+//! Regenerates **Figure 11**: link utilization in the 2-D torus with 10%
+//! hotspot traffic at UP/DOWN's saturation point, for UP/DOWN and ITB-RR.
+//! Under UP/DOWN the congestion sits at the root switch; under ITB-RR only
+//! the links near the hotspot switch heat up.
+//!
+//! Usage: `fig11_linkutil_hotspot [--full]`
+
+use regnet_bench::experiments::{fig11, switch_grid_map};
+use regnet_bench::Mode;
+
+fn main() {
+    let report = fig11(Mode::from_args());
+    print!("{}", report.render());
+    for snap in &report.snapshots {
+        println!("\n{}", switch_grid_map(snap, 8, 64));
+    }
+    println!("(root switch is s0, top-left of the grid)");
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 12**: latency vs accepted traffic under local
+//! traffic (destinations at most 3 switches away) on all three topologies.
+//! `--radius4` additionally runs the paper's 4-switch-radius variant.
+//!
+//! Usage: `fig12_local [--topo torus|express|cplant|all] [--radius4] [--full]`
+
+use regnet_bench::experiments::{fig12, fig12_radius4};
+use regnet_bench::{save_curves, Mode, Topo};
+
+fn main() {
+    let mode = Mode::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let sel = args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let topos: Vec<Topo> = match sel {
+        "all" => vec![Topo::Torus, Topo::Express, Topo::Cplant],
+        s => vec![Topo::parse(s).expect("unknown --topo")],
+    };
+    let radius4 = args.iter().any(|a| a == "--radius4");
+    for topo in topos {
+        let fig = fig12(topo, mode);
+        print!("{}", fig.render());
+        let tag = match topo {
+            Topo::Torus => "torus",
+            Topo::Express => "express",
+            Topo::Cplant => "cplant",
+        };
+        save_curves(&format!("fig12_{tag}"), &fig.curves);
+        if radius4 {
+            let fig = fig12_radius4(topo, mode);
+            print!("{}", fig.render());
+            save_curves(&format!("fig12r4_{tag}"), &fig.curves);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Verifies the paper's message-size claim (section 4.2): "for message
+//! length, 32, 512, and 1024-byte messages have been considered ...
+//! the obtained results are qualitatively similar". Sweeps all three sizes
+//! on the 2-D torus under uniform traffic and reports each scheme's
+//! saturation throughput — the UP/DOWN vs ITB ordering and rough factor
+//! must hold at every size.
+//!
+//! Usage: `msgsize_sweep [--full]`
+
+use regnet_bench::{table_search, Mode, Topo};
+use regnet_core::{RouteDbConfig, RoutingScheme};
+use regnet_netsim::experiment::{Experiment, RunOptions};
+use regnet_netsim::SimConfig;
+use regnet_traffic::PatternSpec;
+
+fn main() {
+    let mode = Mode::from_args();
+    let opts = RunOptions {
+        warmup_cycles: mode.run_options(0).warmup_cycles / 2,
+        measure_cycles: mode.run_options(0).measure_cycles / 2,
+        seed: 31,
+    };
+    println!("saturation throughput (flits/ns/switch), 2-D torus, uniform traffic\n");
+    println!("msg bytes   UP/DOWN    ITB-SP    ITB-RR    ITB-RR/UD");
+    for payload in [32usize, 512, 1024] {
+        let mut row = Vec::new();
+        for scheme in RoutingScheme::all() {
+            let exp = Experiment::new(
+                Topo::Torus.build(),
+                scheme,
+                RouteDbConfig::default(),
+                PatternSpec::Uniform,
+                SimConfig {
+                    payload_flits: payload,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("experiment");
+            row.push(exp.find_throughput(&table_search(0.004), &opts));
+        }
+        println!(
+            "{payload:>9}   {:.4}    {:.4}    {:.4}    x{:.2}",
+            row[0],
+            row[1],
+            row[2],
+            row[2] / row[0]
+        );
+    }
+    println!("\npaper: results qualitatively similar across sizes; ITB ~2x UP/DOWN.");
+}

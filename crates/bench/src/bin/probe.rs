@@ -1,0 +1,46 @@
+//! Quick calibration probe: one point per scheme on the paper torus, timed.
+//! Not part of the paper reproduction; used to sanity-check performance and
+//! saturation behaviour while developing.
+
+use regnet_bench::{experiment, Topo};
+use regnet_core::RoutingScheme;
+use regnet_netsim::experiment::RunOptions;
+use regnet_traffic::PatternSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let offered: f64 = args
+        .iter()
+        .position(|a| a == "--load")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.015);
+    let opts = RunOptions {
+        warmup_cycles: 60_000,
+        measure_cycles: 150_000,
+        seed: 1,
+    };
+    for scheme in [
+        RoutingScheme::UpDown,
+        RoutingScheme::ItbSp,
+        RoutingScheme::ItbRr,
+    ] {
+        let t0 = std::time::Instant::now();
+        let exp = experiment(Topo::Torus.build(), scheme, PatternSpec::Uniform);
+        let build = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let p = exp.run_point(offered, &opts);
+        let run = t1.elapsed();
+        println!(
+            "{:8} offered {:.4} accepted {:.4} lat {:8.0} ns itbs {:.3} delivered {:6} [build {:?} run {:?}]",
+            scheme.label(),
+            p.offered,
+            p.accepted,
+            p.avg_latency_ns,
+            p.avg_itbs_per_msg,
+            p.delivered,
+            build,
+            run
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Route-level statistics quoted in section 4.7.1 of the paper, computed
+//! without simulation: fraction of minimal routes (paper: 80% torus / 94%
+//! express / 100% CPLANT for UP/DOWN), average distance (4.57 vs 4.06 on
+//! the torus), average in-transit buffers per route.
+
+use regnet_bench::experiments::route_stats;
+
+fn main() {
+    print!("{}", route_stats().render());
+    println!("\npaper reference points:");
+    println!("  torus UP/DOWN: 80% minimal, avg distance 4.57; minimal avg 4.06");
+    println!("  express UP/DOWN: 94% minimal; CPLANT UP/DOWN: 100% minimal");
+    println!("  ITB torus: 0.43 (SP) / 0.54 (RR) in-transit buffers per message");
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 1**: saturation throughput in the 2-D torus under
+//! hotspot traffic (5% and 10% of traffic to one random host), for several
+//! hotspot locations, under UP/DOWN, ITB-SP and ITB-RR.
+//!
+//! Usage: `table1_hotspot_torus [--full]`  (quick: 3 locations, full: 10)
+
+use regnet_bench::experiments::table1;
+use regnet_bench::Mode;
+
+fn main() {
+    let t = table1(Mode::from_args());
+    print!("{}", t.render());
+    let avg = t.averages();
+    let n = avg.len() / 2;
+    println!("\nthroughput factors vs UP/DOWN:");
+    for (block, label) in [(0, "5% hotspot"), (n, "10% hotspot")] {
+        println!(
+            "  {label}: ITB-SP x{:.2}  ITB-RR x{:.2}   (paper: x2.13 / x2.19 at 5%, x1.40 / x1.48 at 10%)",
+            avg[block + 1] / avg[block],
+            avg[block + 2] / avg[block]
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Table 2**: saturation throughput in the torus with
+//! express channels under hotspot traffic (3% and 5%).
+//!
+//! Usage: `table2_hotspot_express [--full]`
+
+use regnet_bench::experiments::table2;
+use regnet_bench::Mode;
+
+fn main() {
+    let t = table2(Mode::from_args());
+    print!("{}", t.render());
+    let avg = t.averages();
+    let n = avg.len() / 2;
+    println!("\nthroughput factors vs UP/DOWN:");
+    for (block, label) in [(0, "3% hotspot"), (n, "5% hotspot")] {
+        println!(
+            "  {label}: ITB-SP x{:.2}  ITB-RR x{:.2}   (paper: x1.13 / x1.12 at 3%, x1.08 / x1.07 at 5%)",
+            avg[block + 1] / avg[block],
+            avg[block + 2] / avg[block]
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Table 3**: saturation throughput in CPLANT under 5%
+//! hotspot traffic.
+//!
+//! Usage: `table3_hotspot_cplant [--full]`
+
+use regnet_bench::experiments::table3;
+use regnet_bench::Mode;
+
+fn main() {
+    let t = table3(Mode::from_args());
+    print!("{}", t.render());
+    let avg = t.averages();
+    println!(
+        "\nthroughput factors vs UP/DOWN: ITB-SP x{:.2}  ITB-RR x{:.2}   (paper: x1.24 / x1.32)",
+        avg[1] / avg[0],
+        avg[2] / avg[0]
+    );
+}

@@ -1,0 +1,552 @@
+//! One function per table and figure of the paper's evaluation section.
+//!
+//! Each function runs the corresponding experiment and returns structured
+//! results; the `bin/` wrappers print them and save JSON. Quick mode keeps
+//! the same workloads and sweep shapes with shorter measurement windows.
+
+use rand::SeedableRng;
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_metrics::{Curve, UtilizationSummary};
+use regnet_netsim::experiment::RunOptions;
+use regnet_netsim::ChannelDesc;
+use regnet_topology::{HostId, NodeId, SwitchId};
+use regnet_traffic::{random_hotspots, PatternSpec};
+use serde::Serialize;
+
+use crate::{experiment, load_ladder, table_search, threads, Mode, Topo};
+
+/// A latency-vs-traffic figure: one curve per routing scheme.
+#[derive(Debug, Serialize)]
+pub struct FigureResult {
+    pub name: String,
+    pub curves: Vec<Curve>,
+}
+
+impl FigureResult {
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.name);
+        for c in &self.curves {
+            out.push_str(&c.to_table());
+            out.push_str(&format!(
+                "  -> throughput (max accepted): {:.4} flits/ns/switch\n\n",
+                c.throughput()
+            ));
+        }
+        out
+    }
+}
+
+/// A hotspot-throughput table (Tables 1–3 of the paper).
+#[derive(Debug, Serialize)]
+pub struct TableResult {
+    pub name: String,
+    /// Column labels after the first ("Hotspot") column.
+    pub header: Vec<String>,
+    /// One row per hotspot location: (label, one value per column).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl TableResult {
+    /// Column averages (the paper's "Avg" row).
+    pub fn averages(&self) -> Vec<f64> {
+        let cols = self.header.len();
+        let mut sums = vec![0.0; cols];
+        for (_, vals) in &self.rows {
+            for (s, v) in sums.iter_mut().zip(vals) {
+                *s += v;
+            }
+        }
+        let n = self.rows.len().max(1) as f64;
+        sums.iter().map(|s| s / n).collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\nHotspot  ", self.name);
+        for h in &self.header {
+            out.push_str(&format!("{h:>10}"));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("{label:<9}"));
+            for v in vals {
+                out.push_str(&format!("{v:>10.4}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("Avg      ");
+        for v in self.averages() {
+            out.push_str(&format!("{v:>10.4}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// A link-utilization experiment (Figures 8, 9, 11): labelled snapshots.
+#[derive(Debug, Serialize)]
+pub struct UtilSnapshot {
+    pub label: String,
+    pub offered: f64,
+    pub summary: UtilizationSummary,
+    pub descs: Vec<ChannelDesc>,
+}
+
+#[derive(Debug, Serialize)]
+pub struct UtilReport {
+    pub name: String,
+    pub snapshots: Vec<UtilSnapshot>,
+}
+
+impl UtilReport {
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.name);
+        for s in &self.snapshots {
+            out.push_str(&format!(
+                "\n-- {} @ {:.4} flits/ns/switch --\n",
+                s.label, s.offered
+            ));
+            out.push_str(&format!(
+                "links: {}  util min {:.1}% max {:.1}% mean {:.1}%  imbalance (cv) {:.2}\n",
+                s.summary.per_channel.len(),
+                s.summary.min() * 100.0,
+                s.summary.max() * 100.0,
+                s.summary.mean() * 100.0,
+                s.summary.imbalance()
+            ));
+            out.push_str(&format!(
+                "fraction of links under 10%%: {:.0}%  under 12%%: {:.0}%  under 30%%: {:.0}%\n",
+                s.summary.fraction_below(0.10) * 100.0,
+                s.summary.fraction_below(0.12) * 100.0,
+                s.summary.fraction_below(0.30) * 100.0
+            ));
+            out.push_str(&s.summary.to_histogram_table());
+        }
+        out
+    }
+}
+
+/// Offered-load ladder for a (topology, pattern family) cell, bracketing
+/// every scheme's saturation point.
+fn ladder_for(topo: Topo, pattern: &PatternSpec, mode: Mode) -> Vec<f64> {
+    let n = match mode {
+        Mode::Quick => 8,
+        Mode::Full => 12,
+    };
+    let (lo, hi) = match (topo, pattern) {
+        (Topo::Torus, PatternSpec::Local { .. }) => (0.01, 0.22),
+        (Topo::Express, PatternSpec::Local { .. }) => (0.01, 0.30),
+        (Topo::Cplant, PatternSpec::Local { .. }) => (0.01, 0.25),
+        (Topo::Torus, _) => (0.003, 0.045),
+        (Topo::Express, _) => (0.008, 0.16),
+        (Topo::Cplant, _) => (0.006, 0.13),
+    };
+    load_ladder(lo, hi, n)
+}
+
+fn sweep_schemes(
+    name: String,
+    topo: Topo,
+    pattern: PatternSpec,
+    mode: Mode,
+    seed: u64,
+) -> FigureResult {
+    let loads = ladder_for(topo, &pattern, mode);
+    let opts = mode.run_options(seed);
+    let curves = RoutingScheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let exp = experiment(topo.build(), scheme, pattern);
+            exp.sweep(&loads, &opts, threads())
+        })
+        .collect();
+    FigureResult { name, curves }
+}
+
+/// **Figure 7** — uniform traffic, latency vs accepted traffic.
+/// 7a: 2-D torus; 7b: torus + express channels; 7c: CPLANT.
+pub fn fig07(topo: Topo, mode: Mode) -> FigureResult {
+    sweep_schemes(
+        format!("Figure 7 ({}) — uniform", topo.label()),
+        topo,
+        PatternSpec::Uniform,
+        mode,
+        7,
+    )
+}
+
+/// **Figure 10** — bit-reversal traffic (torus and express only; CPLANT's
+/// 400 hosts are not a power of two, as the paper notes).
+pub fn fig10(topo: Topo, mode: Mode) -> FigureResult {
+    assert!(topo != Topo::Cplant, "bit-reversal needs 2^k hosts");
+    sweep_schemes(
+        format!("Figure 10 ({}) — bit-reversal", topo.label()),
+        topo,
+        PatternSpec::BitReversal,
+        mode,
+        10,
+    )
+}
+
+/// **Figure 12** — local traffic (destinations at most 3 switches away).
+pub fn fig12(topo: Topo, mode: Mode) -> FigureResult {
+    sweep_schemes(
+        format!("Figure 12 ({}) — local(3)", topo.label()),
+        topo,
+        PatternSpec::Local { max_switch_dist: 3 },
+        mode,
+        12,
+    )
+}
+
+/// The paper also studies local traffic with 4-switch radius (section 4.2).
+pub fn fig12_radius4(topo: Topo, mode: Mode) -> FigureResult {
+    sweep_schemes(
+        format!("Figure 12 variant ({}) — local(4)", topo.label()),
+        topo,
+        PatternSpec::Local { max_switch_dist: 4 },
+        mode,
+        13,
+    )
+}
+
+fn util_snapshot(
+    topo: Topo,
+    scheme: RoutingScheme,
+    pattern: PatternSpec,
+    offered: f64,
+    mode: Mode,
+) -> UtilSnapshot {
+    let exp = experiment(topo.build(), scheme, pattern);
+    let (summary, descs) = exp.link_utilization(offered, &mode.run_options(8));
+    UtilSnapshot {
+        label: format!("{} {}", scheme.label(), pattern.label()),
+        offered,
+        summary,
+        descs,
+    }
+}
+
+/// **Figure 8** — link utilization in the 2-D torus under uniform traffic:
+/// UP/DOWN at its saturation point (0.015), ITB-RR at the same load, and
+/// ITB-RR near its own saturation (0.03).
+pub fn fig08(mode: Mode) -> UtilReport {
+    UtilReport {
+        name: "Figure 8 — link utilization, 2-D torus, uniform".into(),
+        snapshots: vec![
+            util_snapshot(
+                Topo::Torus,
+                RoutingScheme::UpDown,
+                PatternSpec::Uniform,
+                0.015,
+                mode,
+            ),
+            util_snapshot(
+                Topo::Torus,
+                RoutingScheme::ItbRr,
+                PatternSpec::Uniform,
+                0.015,
+                mode,
+            ),
+            util_snapshot(
+                Topo::Torus,
+                RoutingScheme::ItbRr,
+                PatternSpec::Uniform,
+                0.03,
+                mode,
+            ),
+        ],
+    }
+}
+
+/// **Figure 9** — link utilization in the torus with express channels at
+/// UP/DOWN's saturation point (0.066).
+pub fn fig09(mode: Mode) -> UtilReport {
+    UtilReport {
+        name: "Figure 9 — link utilization, torus+express, uniform".into(),
+        snapshots: vec![
+            util_snapshot(
+                Topo::Express,
+                RoutingScheme::UpDown,
+                PatternSpec::Uniform,
+                0.066,
+                mode,
+            ),
+            util_snapshot(
+                Topo::Express,
+                RoutingScheme::ItbRr,
+                PatternSpec::Uniform,
+                0.066,
+                mode,
+            ),
+        ],
+    }
+}
+
+/// **Figure 11** — link utilization in the torus with 10% hotspot traffic
+/// at UP/DOWN's saturation point (~0.0123).
+pub fn fig11(mode: Mode) -> UtilReport {
+    let topo = Topo::Torus.build();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1111);
+    let hotspot = random_hotspots(&topo, 1, &mut rng)[0];
+    let pattern = PatternSpec::Hotspot {
+        fraction: 0.10,
+        host: hotspot,
+    };
+    UtilReport {
+        name: format!(
+            "Figure 11 — link utilization, 2-D torus, 10% hotspot at {hotspot} (switch {})",
+            topo.host_switch(hotspot)
+        ),
+        snapshots: vec![
+            util_snapshot(Topo::Torus, RoutingScheme::UpDown, pattern, 0.0123, mode),
+            util_snapshot(Topo::Torus, RoutingScheme::ItbRr, pattern, 0.0123, mode),
+        ],
+    }
+}
+
+fn hotspot_table(
+    name: String,
+    topo: Topo,
+    fractions: &[f64],
+    search_start: f64,
+    mode: Mode,
+) -> TableResult {
+    let t = topo.build();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xB07);
+    let count = match mode {
+        Mode::Quick => 3,
+        Mode::Full => 10,
+    };
+    let hotspots = random_hotspots(&t, count, &mut rng);
+    let mut header = Vec::new();
+    for f in fractions {
+        for scheme in RoutingScheme::all() {
+            header.push(format!("{}% {}", (f * 100.0).round(), scheme.label()));
+        }
+    }
+    // Throughput searches need less precision per point than latency curves.
+    let opts = RunOptions {
+        warmup_cycles: mode.run_options(0).warmup_cycles / 2,
+        measure_cycles: mode.run_options(0).measure_cycles / 2,
+        seed: 21,
+    };
+    let mut rows = Vec::new();
+    for (i, &hs) in hotspots.iter().enumerate() {
+        let mut vals = Vec::new();
+        for &f in fractions {
+            let pattern = PatternSpec::Hotspot {
+                fraction: f,
+                host: hs,
+            };
+            for scheme in RoutingScheme::all() {
+                let exp = experiment(topo.build(), scheme, pattern);
+                vals.push(exp.find_throughput(&table_search(search_start), &opts));
+            }
+        }
+        rows.push((format!("{} ({hs})", i + 1), vals));
+    }
+    TableResult { name, header, rows }
+}
+
+/// **Table 1** — throughput under hotspot traffic in the 2-D torus, for
+/// 5% and 10% hotspot load, over several random hotspot locations.
+pub fn table1(mode: Mode) -> TableResult {
+    hotspot_table(
+        "Table 1 — hotspot throughput, 2-D torus".into(),
+        Topo::Torus,
+        &[0.05, 0.10],
+        0.004,
+        mode,
+    )
+}
+
+/// **Table 2** — hotspot throughput in the torus with express channels,
+/// 3% and 5% hotspot load.
+pub fn table2(mode: Mode) -> TableResult {
+    hotspot_table(
+        "Table 2 — hotspot throughput, torus+express".into(),
+        Topo::Express,
+        &[0.03, 0.05],
+        0.01,
+        mode,
+    )
+}
+
+/// **Table 3** — hotspot throughput in CPLANT, 5% hotspot load.
+pub fn table3(mode: Mode) -> TableResult {
+    hotspot_table(
+        "Table 3 — hotspot throughput, CPLANT".into(),
+        Topo::Cplant,
+        &[0.05],
+        0.008,
+        mode,
+    )
+}
+
+/// Route-level statistics quoted in section 4.7.1 of the paper.
+#[derive(Debug, Serialize)]
+pub struct RouteStatsReport {
+    pub rows: Vec<(String, regnet_core::analysis::RouteStats)>,
+}
+
+impl RouteStatsReport {
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "topology/scheme              minimal%   avg-dist   avg-itbs   max-itbs   alts\n",
+        );
+        for (label, s) in &self.rows {
+            out.push_str(&format!(
+                "{label:<28} {:>7.1}%   {:>8.3}   {:>8.3}   {:>8}   {:>4.1}\n",
+                s.minimal_fraction * 100.0,
+                s.avg_distance,
+                s.avg_itbs,
+                s.max_itbs,
+                s.avg_alternatives
+            ));
+        }
+        out
+    }
+}
+
+/// Compute route statistics for every (topology, scheme) cell.
+pub fn route_stats() -> RouteStatsReport {
+    let mut rows = Vec::new();
+    for topo in [Topo::Torus, Topo::Express, Topo::Cplant] {
+        let t = topo.build();
+        for scheme in RoutingScheme::all() {
+            let db = RouteDb::build(&t, scheme, &RouteDbConfig::default());
+            let stats = regnet_core::analysis::RouteStats::compute(&t, &db);
+            rows.push((format!("{} / {}", t.name(), scheme.label()), stats));
+        }
+    }
+    RouteStatsReport { rows }
+}
+
+/// Render an 8×8 per-switch utilization map (average utilization of the
+/// switch-link channels leaving each switch) for torus-shaped topologies —
+/// the textual analogue of the paper's greyscale link maps.
+pub fn switch_grid_map(snapshot: &UtilSnapshot, cols: usize, n_switches: usize) -> String {
+    let mut sum = vec![0.0f64; n_switches];
+    let mut cnt = vec![0usize; n_switches];
+    for (d, &u) in snapshot.descs.iter().zip(&snapshot.summary.per_channel) {
+        if let NodeId::Switch(SwitchId(s)) = d.from {
+            sum[s as usize] += u;
+            cnt[s as usize] += 1;
+        }
+    }
+    let mut out = format!(
+        "{} @ {:.4} (mean outgoing util %)\n",
+        snapshot.label, snapshot.offered
+    );
+    for s in 0..n_switches {
+        let u = if cnt[s] > 0 {
+            sum[s] / cnt[s] as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("{:>5.1}", u * 100.0));
+        if (s + 1) % cols == 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Locate a host id's switch in the paper torus (row, col) — helper for
+/// hotspot map rendering.
+pub fn torus_coords(topo: &regnet_topology::Topology, host: HostId, cols: usize) -> (usize, usize) {
+    let s = topo.host_switch(host).idx();
+    (s / cols, s % cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_bracket_paper_saturation_points() {
+        // The ladder must span each scheme's expected knee.
+        let l = ladder_for(Topo::Torus, &PatternSpec::Uniform, Mode::Quick);
+        assert!(*l.first().unwrap() < 0.01);
+        assert!(*l.last().unwrap() > 0.035);
+        let l = ladder_for(Topo::Express, &PatternSpec::Uniform, Mode::Quick);
+        assert!(*l.last().unwrap() > 0.12);
+        let l = ladder_for(
+            Topo::Torus,
+            &PatternSpec::Local { max_switch_dist: 3 },
+            Mode::Quick,
+        );
+        assert!(*l.last().unwrap() > 0.13);
+    }
+
+    #[test]
+    fn table_render_has_average_row() {
+        let t = TableResult {
+            name: "t".into(),
+            header: vec!["a".into(), "b".into()],
+            rows: vec![("1".into(), vec![1.0, 2.0]), ("2".into(), vec![3.0, 4.0])],
+        };
+        assert_eq!(t.averages(), vec![2.0, 3.0]);
+        let r = t.render();
+        assert!(r.contains("Avg"));
+        assert!(r.contains("2.0000"));
+    }
+
+    #[test]
+    fn util_report_and_grid_render() {
+        use regnet_metrics::UtilizationSummary;
+        use regnet_topology::{HostId, NodeId, SwitchId};
+        let snap = UtilSnapshot {
+            label: "UP/DOWN uniform".into(),
+            offered: 0.015,
+            summary: UtilizationSummary::from_busy_cycles(&[50, 10, 0], 100),
+            descs: vec![
+                ChannelDesc {
+                    from: NodeId::Switch(SwitchId(0)),
+                    to: NodeId::Switch(SwitchId(1)),
+                    switch_link: true,
+                },
+                ChannelDesc {
+                    from: NodeId::Switch(SwitchId(1)),
+                    to: NodeId::Switch(SwitchId(0)),
+                    switch_link: true,
+                },
+                ChannelDesc {
+                    from: NodeId::Host(HostId(0)),
+                    to: NodeId::Switch(SwitchId(0)),
+                    switch_link: false,
+                },
+            ],
+        };
+        let report = UtilReport {
+            name: "Figure X".into(),
+            snapshots: vec![snap],
+        };
+        let text = report.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("max 50.0%"));
+        let grid = switch_grid_map(&report.snapshots[0], 2, 2);
+        // Switch 0 has one outgoing switch channel at 50%; switch 1 at 10%.
+        assert!(grid.contains("50.0"));
+        assert!(grid.contains("10.0"));
+    }
+
+    #[test]
+    fn route_stats_report_renders() {
+        // Only checks the formatting path; the statistics themselves are
+        // asserted in regnet-core's tests.
+        let report = RouteStatsReport {
+            rows: vec![(
+                "x".into(),
+                regnet_core::analysis::RouteStats {
+                    minimal_fraction: 0.8,
+                    avg_distance: 4.5,
+                    avg_itbs: 0.4,
+                    max_itbs: 2,
+                    avg_alternatives: 5.0,
+                },
+            )],
+        };
+        assert!(report.render().contains("80.0%"));
+    }
+}

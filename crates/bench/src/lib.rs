@@ -1,0 +1,190 @@
+//! Shared experiment harness for the paper-reproduction binaries and
+//! Criterion benches: topology construction by name, standard sweep
+//! parameters, result formatting, and JSON output.
+
+pub mod experiments;
+
+use std::io::Write;
+use std::path::Path;
+
+use regnet_core::{RouteDbConfig, RoutingScheme};
+use regnet_metrics::Curve;
+use regnet_netsim::experiment::{Experiment, RunOptions, ThroughputSearch};
+use regnet_netsim::SimConfig;
+use regnet_topology::{gen, Topology};
+use regnet_traffic::PatternSpec;
+
+/// The three topologies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topo {
+    /// 8×8 2-D torus, 512 hosts (Figure 4).
+    Torus,
+    /// 8×8 2-D torus with express channels (Figure 5).
+    Express,
+    /// CPLANT, 50 switches / 400 hosts (Figure 6).
+    Cplant,
+}
+
+impl Topo {
+    pub fn build(self) -> Topology {
+        match self {
+            Topo::Torus => gen::torus_2d(8, 8, 8).expect("torus"),
+            Topo::Express => gen::torus_2d_express(8, 8, 8).expect("express torus"),
+            Topo::Cplant => gen::cplant().expect("cplant"),
+        }
+    }
+
+    /// A scaled-down variant for quick runs and Criterion benches.
+    pub fn build_small(self) -> Topology {
+        match self {
+            Topo::Torus => gen::torus_2d(4, 4, 4).expect("torus"),
+            Topo::Express => gen::torus_2d_express(4, 4, 4).expect("express torus"),
+            Topo::Cplant => gen::cplant().expect("cplant"),
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Topo> {
+        match s {
+            "torus" => Some(Topo::Torus),
+            "express" => Some(Topo::Express),
+            "cplant" => Some(Topo::Cplant),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Topo::Torus => "2-D Torus",
+            Topo::Express => "2-D Torus with express channels",
+            Topo::Cplant => "CPLANT",
+        }
+    }
+}
+
+/// Fidelity of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Reduced warmup/window and fewer sweep points: minutes, same shape.
+    Quick,
+    /// Paper-fidelity windows: slower, tighter statistics.
+    Full,
+}
+
+impl Mode {
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "--full") {
+            Mode::Full
+        } else {
+            Mode::Quick
+        }
+    }
+
+    pub fn run_options(self, seed: u64) -> RunOptions {
+        match self {
+            Mode::Quick => RunOptions {
+                warmup_cycles: 60_000,
+                measure_cycles: 150_000,
+                seed,
+            },
+            Mode::Full => RunOptions {
+                warmup_cycles: 200_000,
+                measure_cycles: 500_000,
+                seed,
+            },
+        }
+    }
+}
+
+/// Build the standard experiment for a (topology, scheme, pattern) cell
+/// with paper-default hardware parameters.
+pub fn experiment(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec) -> Experiment {
+    Experiment::new(
+        topo,
+        scheme,
+        RouteDbConfig::default(),
+        pattern,
+        SimConfig::default(),
+    )
+    .expect("experiment construction")
+}
+
+/// Number of worker threads for sweeps.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Geometric load ladder between `lo` and `hi` (inclusive), `n` points.
+pub fn load_ladder(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && hi > lo && lo > 0.0);
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Standard throughput search for the hotspot tables.
+pub fn table_search(start: f64) -> ThroughputSearch {
+    ThroughputSearch {
+        start,
+        growth: 1.3,
+        saturated_points: 2,
+        ratio: 0.92,
+        max_points: 20,
+    }
+}
+
+/// Write curves to `target/experiments/<name>.json` (machine-readable) and
+/// as gnuplot-ready `.dat` files plus a `<name>.gp` script; prints the
+/// paths.
+pub fn save_curves(name: &str, curves: &[Curve]) {
+    let dir = Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(curves).expect("serialize curves");
+            let _ = f.write_all(json.as_bytes());
+            println!("[saved {}]", path.display());
+        }
+        Err(e) => eprintln!("could not save {}: {e}", path.display()),
+    }
+    match regnet_metrics::export::write_figure(dir, name, name, curves) {
+        Ok(script) => println!("[saved {} + data]", script.display()),
+        Err(e) => eprintln!("could not export plot files for {name}: {e}"),
+    }
+}
+
+/// Print a curve in the paper's presentation format.
+pub fn print_curve(curve: &Curve) {
+    println!("{}", curve.to_table());
+    println!(
+        "  -> throughput (max accepted): {:.4} flits/ns/switch\n",
+        curve.throughput()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_parsing_and_sizes() {
+        assert_eq!(Topo::parse("torus"), Some(Topo::Torus));
+        assert_eq!(Topo::parse("express"), Some(Topo::Express));
+        assert_eq!(Topo::parse("cplant"), Some(Topo::Cplant));
+        assert_eq!(Topo::parse("nope"), None);
+        assert_eq!(Topo::Torus.build().num_hosts(), 512);
+        assert_eq!(Topo::Cplant.build().num_hosts(), 400);
+    }
+
+    #[test]
+    fn ladder_monotone() {
+        let l = load_ladder(0.002, 0.04, 10);
+        assert_eq!(l.len(), 10);
+        assert!(l.windows(2).all(|w| w[1] > w[0]));
+        assert!((l[0] - 0.002).abs() < 1e-12);
+        assert!((l[9] - 0.04).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,486 @@
+//! Route databases for the three routing schemes evaluated in the paper.
+
+use regnet_routing::{minimal, simple_routes, SimpleRoutesConfig};
+use regnet_topology::{DistanceMatrix, HostId, Orientation, SwitchId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::journey::{Journey, JourneyTemplate, Segment, SegmentEnd};
+use crate::split::{split_minimal_path, try_split_minimal_path, ItbHostPicker};
+
+/// The routing schemes compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingScheme {
+    /// Original Myrinet routing: one balanced up\*/down\* path per pair
+    /// (the `simple_routes` selection). Called **UP/DOWN** in the paper.
+    UpDown,
+    /// In-transit buffers with the *single path* selection policy: each pair
+    /// always uses the same minimal path. **ITB-SP**.
+    ItbSp,
+    /// In-transit buffers with *round-robin* selection over up to
+    /// [`RouteDbConfig::max_alternatives`] minimal paths. **ITB-RR**.
+    ItbRr,
+    /// In-transit buffers with seeded *random* selection among the
+    /// alternatives — an extension in the direction of the paper's future
+    /// work on "new route selection algorithms" at the source host.
+    /// **ITB-RND**; not part of the paper's evaluation.
+    ItbRandom,
+}
+
+impl RoutingScheme {
+    /// The label used in the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingScheme::UpDown => "UP/DOWN",
+            RoutingScheme::ItbSp => "ITB-SP",
+            RoutingScheme::ItbRr => "ITB-RR",
+            RoutingScheme::ItbRandom => "ITB-RND",
+        }
+    }
+
+    /// Does this scheme use in-transit buffers?
+    pub fn uses_itbs(self) -> bool {
+        !matches!(self, RoutingScheme::UpDown)
+    }
+
+    /// The three schemes of the paper's evaluation, in presentation order.
+    pub fn all() -> [RoutingScheme; 3] {
+        [
+            RoutingScheme::UpDown,
+            RoutingScheme::ItbSp,
+            RoutingScheme::ItbRr,
+        ]
+    }
+
+    /// The paper's schemes plus this library's extensions.
+    pub fn extended() -> [RoutingScheme; 4] {
+        [
+            RoutingScheme::UpDown,
+            RoutingScheme::ItbSp,
+            RoutingScheme::ItbRr,
+            RoutingScheme::ItbRandom,
+        ]
+    }
+}
+
+impl std::fmt::Display for RoutingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for building a [`RouteDb`].
+#[derive(Debug, Clone)]
+pub struct RouteDbConfig {
+    /// Maximum alternative routes per source-destination pair (paper: 10,
+    /// "to avoid using a huge table that may result in a long look-up
+    /// delay").
+    pub max_alternatives: usize,
+    /// Root switch of the up\*/down\* spanning tree. The paper's torus
+    /// plots identify the root as "the top leftmost switch", i.e. switch 0.
+    pub root: SwitchId,
+    /// How in-transit hosts are chosen at a transition switch.
+    pub itb_picker: ItbHostPicker,
+    /// Seed for the minimal-path sampling.
+    pub seed: u64,
+    /// Options forwarded to the `simple_routes` emulation.
+    pub simple: SimpleRoutesConfig,
+}
+
+impl Default for RouteDbConfig {
+    fn default() -> Self {
+        RouteDbConfig {
+            max_alternatives: 10,
+            root: SwitchId(0),
+            itb_picker: ItbHostPicker::Spread,
+            seed: 0xC0FFEE,
+            simple: SimpleRoutesConfig::default(),
+        }
+    }
+}
+
+/// Per-pair round-robin state for the ITB-RR policy.
+///
+/// The paper round-robins "from all the alternative minimal paths" per
+/// source-destination pair; we keep one counter per ordered *host* pair.
+#[derive(Debug, Clone)]
+pub struct PathSelector {
+    n_hosts: usize,
+    rr: Vec<u8>,
+    rng: rand::rngs::SmallRng,
+}
+
+impl PathSelector {
+    fn new(n_hosts: usize) -> PathSelector {
+        // Stagger the starting alternative per pair. If every pair started
+        // at index 0, sparse traffic (few messages per pair) would collapse
+        // round-robin into "everyone picks the first alternative", which is
+        // lexicographically correlated across pairs and unbalances links.
+        let rr = (0..n_hosts * n_hosts)
+            .map(|i| (fxhash(i as u64, 0x5157) & 0xFF) as u8)
+            .collect();
+        PathSelector {
+            n_hosts,
+            rr,
+            rng: rand::SeedableRng::seed_from_u64(0x5E1EC7),
+        }
+    }
+
+    fn next(&mut self, src: HostId, dst: HostId, n_alts: usize) -> usize {
+        let slot = &mut self.rr[src.idx() * self.n_hosts + dst.idx()];
+        let pick = *slot as usize % n_alts;
+        *slot = slot.wrapping_add(1);
+        pick
+    }
+}
+
+/// The routing table of the whole network for one scheme: for every ordered
+/// switch pair, the list of alternative [`JourneyTemplate`]s.
+///
+/// Templates are stored per *switch* pair and materialised per *host* pair
+/// on demand (the only host-specific byte is the final port).
+#[derive(Debug, Clone)]
+pub struct RouteDb {
+    scheme: RoutingScheme,
+    n_switches: usize,
+    n_hosts: usize,
+    templates: Vec<Vec<JourneyTemplate>>,
+}
+
+impl RouteDb {
+    /// Compute the routing tables for `scheme` over `topo`.
+    pub fn build(topo: &Topology, scheme: RoutingScheme, cfg: &RouteDbConfig) -> RouteDb {
+        let orient = Orientation::compute(topo, cfg.root);
+        let n = topo.num_switches();
+        let mut templates: Vec<Vec<JourneyTemplate>> = Vec::with_capacity(n * n);
+
+        match scheme {
+            RoutingScheme::UpDown => {
+                let routes = simple_routes(topo, &orient, &cfg.simple);
+                for s in topo.switches() {
+                    for d in topo.switches() {
+                        let path = routes.get(s, d);
+                        // Legal paths split into exactly one segment.
+                        let t = split_minimal_path(topo, &orient, path, cfg.itb_picker);
+                        debug_assert_eq!(
+                            t.num_itbs(),
+                            0,
+                            "up*/down* route {path} must not need ITBs"
+                        );
+                        templates.push(vec![t]);
+                    }
+                }
+            }
+            RoutingScheme::ItbSp | RoutingScheme::ItbRr | RoutingScheme::ItbRandom => {
+                let dm = DistanceMatrix::compute(topo);
+                // ITB-SP uses a single fixed path per pair, but we still
+                // sample the same alternative set and hash-pick one so the
+                // fixed choices are spread across the path space rather
+                // than biased to low switch ids.
+                let k = cfg.max_alternatives;
+                // Legal fallback routes, computed lazily: only needed when
+                // *every* minimal path of a pair requires an in-transit
+                // buffer at a hostless switch (possible on degraded or
+                // exotic topologies, never on the paper's).
+                let mut fallback: Option<regnet_routing::PairPaths> = None;
+                for s in topo.switches() {
+                    for d in topo.switches() {
+                        let paths = minimal::k_minimal_paths(topo, &dm, s, d, k, cfg.seed);
+                        let mut alts: Vec<JourneyTemplate> = paths
+                            .iter()
+                            .filter_map(|p| {
+                                try_split_minimal_path(topo, &orient, p, cfg.itb_picker)
+                            })
+                            .collect();
+                        if alts.is_empty() {
+                            let routes = fallback
+                                .get_or_insert_with(|| simple_routes(topo, &orient, &cfg.simple));
+                            let legal = routes.get(s, d);
+                            let t = split_minimal_path(topo, &orient, legal, cfg.itb_picker);
+                            debug_assert_eq!(t.num_itbs(), 0);
+                            alts.push(t);
+                        }
+                        templates.push(alts);
+                    }
+                }
+            }
+        }
+
+        RouteDb {
+            scheme,
+            n_switches: n,
+            n_hosts: topo.num_hosts(),
+            templates,
+        }
+    }
+
+    /// The scheme this database implements.
+    pub fn scheme(&self) -> RoutingScheme {
+        self.scheme
+    }
+
+    /// Alternative templates for an ordered switch pair.
+    pub fn alternatives(&self, src: SwitchId, dst: SwitchId) -> &[JourneyTemplate] {
+        &self.templates[src.idx() * self.n_switches + dst.idx()]
+    }
+
+    /// Fresh per-pair selection state (one per simulation run).
+    pub fn selector(&self) -> PathSelector {
+        PathSelector::new(self.n_hosts)
+    }
+
+    /// Materialise the route a packet from `src` to `dst` should take now,
+    /// according to the scheme's path-selection policy.
+    pub fn select(
+        &self,
+        topo: &Topology,
+        src: HostId,
+        dst: HostId,
+        selector: &mut PathSelector,
+    ) -> Journey {
+        let (ss, ds) = (topo.host_switch(src), topo.host_switch(dst));
+        let alts = self.alternatives(ss, ds);
+        let idx = match self.scheme {
+            RoutingScheme::UpDown => 0,
+            // Fixed per pair, but spread across pairs.
+            RoutingScheme::ItbSp => (fxhash(src.0 as u64, dst.0 as u64) as usize) % alts.len(),
+            RoutingScheme::ItbRr => selector.next(src, dst, alts.len()),
+            RoutingScheme::ItbRandom => rand::Rng::gen_range(&mut selector.rng, 0..alts.len()),
+        };
+        alts[idx].materialise(src, dst, topo.host_port(dst))
+    }
+
+    /// A journey for intra-switch traffic (source and destination hosts on
+    /// the same switch). Exposed for tests; `select` handles this case
+    /// transparently because the switch-pair table contains the trivial
+    /// template.
+    pub fn same_switch_journey(topo: &Topology, src: HostId, dst: HostId) -> Journey {
+        let sw = topo.host_switch(src);
+        debug_assert_eq!(sw, topo.host_switch(dst));
+        Journey {
+            src,
+            dst,
+            segments: vec![Segment {
+                switches: vec![sw],
+                ports: vec![topo.host_port(dst)],
+                end: SegmentEnd::Deliver,
+            }],
+        }
+    }
+
+    /// Iterate every (src switch, dst switch, alternatives) triple.
+    pub fn iter_pairs(
+        &self,
+    ) -> impl Iterator<Item = (SwitchId, SwitchId, &[JourneyTemplate])> + '_ {
+        (0..self.n_switches).flat_map(move |s| {
+            (0..self.n_switches).map(move |d| {
+                (
+                    SwitchId(s as u32),
+                    SwitchId(d as u32),
+                    self.templates[s * self.n_switches + d].as_slice(),
+                )
+            })
+        })
+    }
+}
+
+#[inline]
+fn fxhash(a: u64, b: u64) -> u64 {
+    let mut h = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regnet_topology::gen;
+
+    fn torus() -> Topology {
+        gen::torus_2d(4, 4, 2).unwrap()
+    }
+
+    #[test]
+    fn updown_db_has_single_alternative() {
+        let topo = torus();
+        let db = RouteDb::build(&topo, RoutingScheme::UpDown, &RouteDbConfig::default());
+        for (_, _, alts) in db.iter_pairs() {
+            assert_eq!(alts.len(), 1);
+            assert_eq!(alts[0].num_itbs(), 0);
+        }
+    }
+
+    #[test]
+    fn itb_rr_has_multiple_alternatives_and_cycles() {
+        let topo = torus();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        // Pair (0,0)->(2,2): switch 0 to switch 10: six lattice paths.
+        let alts = db.alternatives(SwitchId(0), SwitchId(10));
+        assert!(alts.len() > 1);
+
+        let mut sel = db.selector();
+        let (src, dst) = (HostId(0), HostId(21)); // hosts on switches 0 and 10
+        let picks: Vec<Journey> = (0..alts.len())
+            .map(|_| db.select(&topo, src, dst, &mut sel))
+            .collect();
+        // Round robin must visit every alternative once before repeating.
+        let again = db.select(&topo, src, dst, &mut sel);
+        assert_eq!(again, picks[0]);
+        let distinct: std::collections::HashSet<_> =
+            picks.iter().map(|j| format!("{j:?}")).collect();
+        assert_eq!(distinct.len(), picks.len());
+    }
+
+    #[test]
+    fn itb_sp_is_fixed_per_pair() {
+        let topo = torus();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbSp, &RouteDbConfig::default());
+        let mut sel = db.selector();
+        let a = db.select(&topo, HostId(0), HostId(21), &mut sel);
+        let b = db.select(&topo, HostId(0), HostId(21), &mut sel);
+        assert_eq!(a, b);
+        // Different pairs may pick different alternatives (spread).
+        let db_alts = db.alternatives(SwitchId(0), SwitchId(10)).len();
+        assert!(db_alts > 1);
+    }
+
+    #[test]
+    fn itb_journeys_are_minimal() {
+        let topo = torus();
+        let dm = DistanceMatrix::compute(&topo);
+        for scheme in [RoutingScheme::ItbSp, RoutingScheme::ItbRr] {
+            let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+            for (s, d, alts) in db.iter_pairs() {
+                for t in alts {
+                    assert_eq!(t.total_links(), dm.get(s, d) as usize, "{scheme} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_journeys_may_be_longer() {
+        let topo = gen::torus_2d(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        let db = RouteDb::build(&topo, RoutingScheme::UpDown, &RouteDbConfig::default());
+        let longer = db
+            .iter_pairs()
+            .filter(|(s, d, alts)| alts[0].total_links() > dm.get(*s, *d) as usize)
+            .count();
+        assert!(
+            longer > 0,
+            "up*/down* should have non-minimal routes on a torus"
+        );
+    }
+
+    #[test]
+    fn same_switch_traffic() {
+        let topo = torus();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        let mut sel = db.selector();
+        // Hosts 0 and 1 both live on switch 0.
+        let j = db.select(&topo, HostId(0), HostId(1), &mut sel);
+        j.validate().unwrap();
+        assert_eq!(j.total_links(), 0);
+        assert_eq!(j.num_itbs(), 0);
+        assert_eq!(j.segments[0].ports, vec![topo.host_port(HostId(1))]);
+        let j2 = RouteDb::same_switch_journey(&topo, HostId(0), HostId(1));
+        assert_eq!(j.segments, j2.segments);
+    }
+
+    #[test]
+    fn materialised_journeys_validate() {
+        let topo = torus();
+        for scheme in RoutingScheme::all() {
+            let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+            let mut sel = db.selector();
+            for src in topo.hosts().take(8) {
+                for dst in topo.hosts() {
+                    if src != dst {
+                        let j = db.select(&topo, src, dst, &mut sel);
+                        j.validate().unwrap_or_else(|e| panic!("{scheme}: {e}"));
+                        assert_eq!(j.src, src);
+                        assert_eq!(j.dst, dst);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(RoutingScheme::UpDown.label(), "UP/DOWN");
+        assert_eq!(RoutingScheme::ItbSp.to_string(), "ITB-SP");
+        assert!(RoutingScheme::ItbRr.uses_itbs());
+        assert!(!RoutingScheme::UpDown.uses_itbs());
+        assert_eq!(RoutingScheme::all().len(), 3);
+    }
+
+    #[test]
+    fn itb_random_selects_valid_journeys_deterministically() {
+        let topo = torus();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRandom, &RouteDbConfig::default());
+        let dm = DistanceMatrix::compute(&topo);
+        let run = || {
+            let mut sel = db.selector();
+            (0..20)
+                .map(|i| {
+                    let j = db.select(&topo, HostId(i % 8), HostId(21), &mut sel);
+                    j.validate().unwrap();
+                    assert_eq!(
+                        j.total_links(),
+                        dm.get(topo.host_switch(HostId(i % 8)), SwitchId(10)) as usize
+                    );
+                    j
+                })
+                .collect::<Vec<_>>()
+        };
+        // Seeded: two fresh selectors draw the same sequence.
+        assert_eq!(run(), run());
+        // And it actually varies across draws for a multi-alternative pair.
+        let mut sel = db.selector();
+        let picks: std::collections::HashSet<String> = (0..20)
+            .map(|_| format!("{:?}", db.select(&topo, HostId(0), HostId(21), &mut sel)))
+            .collect();
+        assert!(picks.len() > 1, "random policy never varied");
+    }
+
+    #[test]
+    fn hostless_transition_switch_falls_back_to_legal_path() {
+        // Ring of 6 rooted at 0: levels [0,1,2,3,2,1]. The only minimal
+        // path 2->3->4 needs an in-transit buffer at switch 3 — which has
+        // no hosts here, so the pair must fall back to the legal detour
+        // 2->1->0->5->4 (4 links, 0 ITBs).
+        let mut b = regnet_topology::TopologyBuilder::new("ring6-gap", 4);
+        b.add_switches(6);
+        for i in 0..6u32 {
+            b.connect(SwitchId(i), SwitchId((i + 1) % 6)).unwrap();
+        }
+        for i in [0u32, 1, 2, 4, 5] {
+            b.attach_host(SwitchId(i)).unwrap();
+        }
+        let topo = b.build().unwrap();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        let alts = db.alternatives(SwitchId(2), SwitchId(4));
+        assert_eq!(alts.len(), 1, "only the fallback should remain");
+        assert_eq!(alts[0].num_itbs(), 0);
+        assert_eq!(alts[0].total_links(), 4, "legal detour around the gap");
+        // The reverse direction 4->3->2 has the same problem, same cure.
+        let rev = db.alternatives(SwitchId(4), SwitchId(2));
+        assert_eq!(rev[0].num_itbs(), 0);
+        assert_eq!(rev[0].total_links(), 4);
+        // Materialised journeys still validate.
+        let mut sel = db.selector();
+        let (src, dst) = (topo.hosts_of(SwitchId(2))[0], topo.hosts_of(SwitchId(4))[0]);
+        let j = db.select(&topo, src, dst, &mut sel);
+        j.validate().unwrap();
+        assert_eq!(j.total_links(), 4);
+    }
+
+    #[test]
+    fn extended_includes_random() {
+        assert_eq!(RoutingScheme::extended().len(), 4);
+        assert_eq!(RoutingScheme::ItbRandom.label(), "ITB-RND");
+        assert!(RoutingScheme::ItbRandom.uses_itbs());
+    }
+}

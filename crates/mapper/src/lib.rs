@@ -1,0 +1,38 @@
+//! Network management for source-routed networks — the functions the paper
+//! attributes to the Myrinet Control Program (section 2): "each network
+//! adapter checks for changes in the network topology (shutdown of hosts,
+//! link/switch failures, start-up of new hosts, etc.), in order to maintain
+//! the routing tables".
+//!
+//! * [`FaultSet`] — the set of failed links, switches and hosts.
+//! * [`discover`] — BFS exploration of the surviving network from a seed
+//!   host, producing a fresh, renumbered [`Topology`](regnet_topology::Topology) plus the id maps
+//!   between the physical and the discovered network (the real Myrinet
+//!   mapper also renumbers after re-mapping).
+//! * [`ManagedNetwork`] — the full maintenance loop: inject faults,
+//!   re-map, rebuild the routing tables for any
+//!   [`RoutingScheme`](regnet_core::RoutingScheme), and
+//!   report what was lost.
+//!
+//! # Example
+//!
+//! ```
+//! use regnet_topology::{gen, LinkId, HostId};
+//! use regnet_core::RoutingScheme;
+//! use regnet_mapper::{FaultSet, ManagedNetwork};
+//!
+//! let physical = gen::torus_2d(4, 4, 2).unwrap();
+//! let mut net = ManagedNetwork::new(physical, RoutingScheme::ItbRr).unwrap();
+//! // A cable dies; the mapper re-explores and rebuilds the routes.
+//! let report = net.inject(FaultSet::link(LinkId(0))).unwrap();
+//! assert_eq!(report.lost_hosts, 0);
+//! assert!(net.route_db().iter_pairs().count() > 0);
+//! ```
+
+mod discovery;
+mod fault;
+mod managed;
+
+pub use discovery::{discover, DiscoveredNetwork, MapperError};
+pub use fault::FaultSet;
+pub use managed::{ManagedNetwork, ReconfigReport};

@@ -1,0 +1,242 @@
+//! The maintenance loop: accumulate faults, re-map, rebuild routing
+//! tables, report what changed.
+
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_topology::{HostId, Topology};
+
+use crate::discovery::{discover, DiscoveredNetwork, MapperError};
+use crate::fault::FaultSet;
+
+/// What a reconfiguration changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigReport {
+    /// Hosts that became unreachable in this reconfiguration.
+    pub lost_hosts: usize,
+    /// Switches that became unreachable.
+    pub lost_switches: usize,
+    /// Switch-to-switch links in the surviving network.
+    pub live_switch_links: usize,
+    /// Average route length (links) after the rebuild.
+    pub avg_route_length: f64,
+}
+
+/// A network under management: the physical plant, the accumulated fault
+/// set, the current (discovered) topology and its routing tables.
+///
+/// Mirrors the paper's description of the MCP: on any topology change the
+/// adapter re-explores the network and rebuilds its routing table, so
+/// traffic keeps flowing on the surviving component — with in-transit
+/// buffer routes recomputed for the *new* up\*/down\* tree.
+pub struct ManagedNetwork {
+    physical: Topology,
+    faults: FaultSet,
+    scheme: RoutingScheme,
+    db_cfg: RouteDbConfig,
+    seed: HostId,
+    current: DiscoveredNetwork,
+    db: RouteDb,
+}
+
+impl ManagedNetwork {
+    /// Bring up a fault-free network under `scheme` with default table
+    /// parameters, managed from host 0.
+    pub fn new(physical: Topology, scheme: RoutingScheme) -> Result<ManagedNetwork, MapperError> {
+        ManagedNetwork::with_config(physical, scheme, RouteDbConfig::default(), HostId(0))
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        physical: Topology,
+        scheme: RoutingScheme,
+        db_cfg: RouteDbConfig,
+        seed: HostId,
+    ) -> Result<ManagedNetwork, MapperError> {
+        let current = discover(&physical, &FaultSet::new(), seed)?;
+        let db = RouteDb::build(&current.topo, scheme, &db_cfg);
+        Ok(ManagedNetwork {
+            physical,
+            faults: FaultSet::new(),
+            scheme,
+            db_cfg,
+            seed,
+            current,
+            db,
+        })
+    }
+
+    /// The physical plant (including dead elements).
+    pub fn physical(&self) -> &Topology {
+        &self.physical
+    }
+
+    /// The current surviving topology.
+    pub fn topology(&self) -> &Topology {
+        &self.current.topo
+    }
+
+    /// The current discovery result (id maps included).
+    pub fn discovered(&self) -> &DiscoveredNetwork {
+        &self.current
+    }
+
+    /// The routing tables for the current topology.
+    pub fn route_db(&self) -> &RouteDb {
+        &self.db
+    }
+
+    /// The accumulated fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Inject additional faults, re-map and rebuild the routing tables.
+    ///
+    /// Fails (leaving the previous state intact) if the managing host
+    /// itself dies or nothing else remains reachable.
+    pub fn inject(&mut self, new_faults: FaultSet) -> Result<ReconfigReport, MapperError> {
+        let mut faults = self.faults.clone();
+        faults.merge(&new_faults);
+        let prev_hosts = self.current.topo.num_hosts();
+        let prev_switches = self.current.topo.num_switches();
+        let next = discover(&self.physical, &faults, self.seed)?;
+        let db = RouteDb::build(&next.topo, self.scheme, &self.db_cfg);
+        let stats = regnet_core::analysis::RouteStats::compute(&next.topo, &db);
+        let report = ReconfigReport {
+            lost_hosts: prev_hosts.saturating_sub(next.topo.num_hosts()),
+            lost_switches: prev_switches.saturating_sub(next.topo.num_switches()),
+            live_switch_links: next.topo.num_switch_links(),
+            avg_route_length: stats.avg_distance,
+        };
+        self.faults = faults;
+        self.current = next;
+        self.db = db;
+        Ok(report)
+    }
+
+    /// Translate a physical host id into the current network, if it
+    /// survived.
+    pub fn locate_host(&self, physical: HostId) -> Option<HostId> {
+        self.current
+            .host_to_new
+            .get(physical.idx())
+            .copied()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regnet_core::analysis::RouteStats;
+    use regnet_topology::{gen, SwitchId};
+
+    #[test]
+    fn rebuild_after_link_failure_keeps_all_hosts() {
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::new(physical, RoutingScheme::ItbRr).unwrap();
+        let before = RouteStats::compute(net.topology(), net.route_db());
+        // Kill a switch link.
+        let l = net
+            .physical()
+            .links()
+            .iter()
+            .find(|l| l.is_switch_link())
+            .unwrap()
+            .id;
+        let report = net.inject(FaultSet::link(l)).unwrap();
+        assert_eq!(report.lost_hosts, 0);
+        assert_eq!(report.lost_switches, 0);
+        assert_eq!(report.live_switch_links, 31);
+        // Routes still minimal (ITB always is) but on the degraded graph —
+        // average distance cannot shrink.
+        assert!(report.avg_route_length >= before.avg_distance - 1e-9);
+        let after = RouteStats::compute(net.topology(), net.route_db());
+        assert_eq!(after.minimal_fraction, 1.0);
+    }
+
+    #[test]
+    fn rebuild_after_root_switch_failure() {
+        // Killing the up*/down* root forces a whole new spanning tree; the
+        // rebuilt tables must still be valid and ITB-minimal.
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::with_config(
+            physical,
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            HostId(9), // manage from a host not on switch 0
+        )
+        .unwrap();
+        let report = net.inject(FaultSet::switch(SwitchId(0))).unwrap();
+        assert_eq!(report.lost_switches, 1);
+        assert_eq!(report.lost_hosts, 2);
+        let stats = RouteStats::compute(net.topology(), net.route_db());
+        assert_eq!(stats.minimal_fraction, 1.0);
+        assert_eq!(net.topology().num_switches(), 15);
+    }
+
+    #[test]
+    fn faults_accumulate_across_injections() {
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::new(physical, RoutingScheme::UpDown).unwrap();
+        net.inject(FaultSet::switch(SwitchId(5))).unwrap();
+        net.inject(FaultSet::switch(SwitchId(10))).unwrap();
+        assert_eq!(net.topology().num_switches(), 14);
+        assert_eq!(net.faults().counts(), (0, 2, 0));
+    }
+
+    #[test]
+    fn failed_injection_preserves_previous_state() {
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::new(physical, RoutingScheme::ItbSp).unwrap();
+        let hosts_before = net.topology().num_hosts();
+        // Killing the seed host must fail and change nothing.
+        let err = net.inject(FaultSet::host(HostId(0)));
+        assert!(err.is_err());
+        assert_eq!(net.topology().num_hosts(), hosts_before);
+        assert!(net.faults().is_empty());
+    }
+
+    #[test]
+    fn locate_host_translates_ids() {
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::new(physical, RoutingScheme::ItbRr).unwrap();
+        // Before faults: identity-ish (seed on switch 0, BFS order).
+        let loc = net.locate_host(HostId(31)).unwrap();
+        assert_eq!(net.discovered().host_from_new[loc.idx()], HostId(31));
+        // After killing switch 5 (hosts 10, 11): they vanish; others remap.
+        net.inject(FaultSet::switch(SwitchId(5))).unwrap();
+        assert_eq!(net.locate_host(HostId(10)), None);
+        assert_eq!(net.locate_host(HostId(11)), None);
+        let moved = net.locate_host(HostId(31)).unwrap();
+        assert_eq!(net.discovered().host_from_new[moved.idx()], HostId(31));
+    }
+
+    #[test]
+    fn degraded_network_still_simulates_and_conserves() {
+        use regnet_netsim::{SimConfig, Simulator};
+        use regnet_traffic::{Pattern, PatternSpec};
+
+        let physical = gen::torus_2d(4, 4, 2).unwrap();
+        let mut net = ManagedNetwork::new(physical, RoutingScheme::ItbRr).unwrap();
+        net.inject(FaultSet::switch(SwitchId(6))).unwrap();
+        let topo = net.topology();
+        let pattern = Pattern::resolve(PatternSpec::Uniform, topo).unwrap();
+        let cfg = SimConfig {
+            payload_flits: 64,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(topo, net.route_db(), &pattern, cfg, 0.008, 3);
+        sim.begin_measurement();
+        sim.run(30_000);
+        sim.stop_generation();
+        let mut guard = 0;
+        while sim.packets_in_flight() > 0 {
+            sim.run(2_000);
+            guard += 1;
+            assert!(guard < 1_000, "degraded network failed to drain");
+        }
+        let stats = sim.end_measurement(30_000);
+        assert!(stats.generated > 50);
+        assert_eq!(stats.delivered, stats.generated);
+    }
+}

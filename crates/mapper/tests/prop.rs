@@ -1,0 +1,82 @@
+//! Property tests: arbitrary fault sets on arbitrary topologies either
+//! fail cleanly or yield a connected, fully-routable surviving network.
+
+use proptest::prelude::*;
+
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_mapper::{discover, FaultSet, MapperError};
+use regnet_topology::{gen, DistanceMatrix, HostId, LinkId, SwitchId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn discovery_is_total_and_sound(
+        tseed in 0u64..500,
+        kill_switches in prop::collection::vec(0u32..16, 0..3),
+        kill_links in prop::collection::vec(0u32..200, 0..4),
+        kill_hosts in prop::collection::vec(0u32..32, 0..3),
+    ) {
+        let physical = gen::irregular_random(8 + (tseed % 8) as usize, 3, 2, tseed).unwrap();
+        let mut faults = FaultSet::new();
+        for s in kill_switches {
+            faults.kill_switch(SwitchId(s % physical.num_switches() as u32));
+        }
+        for l in kill_links {
+            faults.kill_link(LinkId(l % physical.num_links() as u32));
+        }
+        for h in kill_hosts {
+            faults.kill_host(HostId(h % physical.num_hosts() as u32));
+        }
+        match discover(&physical, &faults, HostId(0)) {
+            Err(MapperError::SeedDead(_)) => {
+                prop_assert!(!faults.is_host_alive(&physical, HostId(0)));
+            }
+            Err(MapperError::NothingReachable) => {}
+            Err(MapperError::Rebuild(e)) => {
+                return Err(TestCaseError::fail(format!("rebuild failed: {e}")));
+            }
+            Ok(d) => {
+                // Surviving topology is valid by construction (builder
+                // validates connectivity); check the id maps are a
+                // bijection between survivors.
+                for (new, &old) in d.host_from_new.iter().enumerate() {
+                    prop_assert_eq!(d.host_to_new[old.idx()], Some(HostId(new as u32)));
+                }
+                for (new, &old) in d.switch_from_new.iter().enumerate() {
+                    prop_assert_eq!(d.switch_to_new[old.idx()], Some(SwitchId(new as u32)));
+                }
+                // Dead elements are never in the maps.
+                for s in physical.switches() {
+                    if !faults.is_switch_alive(s) {
+                        prop_assert!(d.switch_to_new[s.idx()].is_none());
+                    }
+                }
+                for h in physical.hosts() {
+                    if !faults.is_host_alive(&physical, h) {
+                        prop_assert!(d.host_to_new[h.idx()].is_none());
+                    }
+                }
+                // And the survivors are fully routable on the new graph:
+                // minimal ITB routes, except for pairs that fell back to a
+                // plain legal path because every minimal path needed an
+                // in-transit host at a hostless switch (possible after
+                // faults strip all hosts from a switch).
+                let db = RouteDb::build(&d.topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+                let dm = DistanceMatrix::compute(&d.topo);
+                for (s, t, alts) in db.iter_pairs() {
+                    prop_assert!(!alts.is_empty());
+                    for a in alts {
+                        if a.num_itbs() == 0 && alts.len() == 1 {
+                            // Possibly a legal-path fallback: may be longer
+                            // than minimal, but never shorter.
+                            prop_assert!(a.total_links() >= dm.get(s, t) as usize);
+                        } else {
+                            prop_assert_eq!(a.total_links(), dm.get(s, t) as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

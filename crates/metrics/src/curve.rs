@@ -1,0 +1,153 @@
+//! Latency-vs-accepted-traffic curves, the paper's main presentation format.
+
+use serde::{Deserialize, Serialize};
+
+/// One simulated point of a latency/throughput curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Offered load, flits/ns/switch.
+    pub offered: f64,
+    /// Accepted traffic, flits/ns/switch (paper footnote 5).
+    pub accepted: f64,
+    /// Average message latency in nanoseconds (injection at the source host
+    /// to delivery at the destination host — paper footnote 4).
+    pub avg_latency_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_latency_ns: f64,
+    /// Average latency including the source queue (generation to delivery).
+    pub avg_total_latency_ns: f64,
+    /// Average in-transit buffers used per delivered message.
+    pub avg_itbs_per_msg: f64,
+    /// Messages delivered during the measurement window.
+    pub delivered: u64,
+}
+
+/// A full latency/throughput curve for one (topology, scheme, pattern)
+/// combination.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Curve {
+    pub label: String,
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    pub fn new(label: impl Into<String>) -> Curve {
+        Curve {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, p: CurvePoint) {
+        self.points.push(p);
+    }
+
+    /// Network throughput as the paper reports it: the highest accepted
+    /// traffic observed across the sweep (accepted traffic plateaus at the
+    /// saturation point).
+    pub fn throughput(&self) -> f64 {
+        self.points.iter().map(|p| p.accepted).fold(0.0, f64::max)
+    }
+
+    /// The first offered load at which the network no longer accepts the
+    /// offered traffic (accepted < `ratio` × offered). Returns `None` while
+    /// the network keeps up everywhere in the sweep.
+    pub fn saturation_offered(&self, ratio: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.accepted < p.offered * ratio)
+            .map(|p| p.offered)
+    }
+
+    /// Zero-load latency estimate: the average latency of the lowest
+    /// offered-load point.
+    pub fn zero_load_latency_ns(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.offered.total_cmp(&b.offered))
+            .map(|p| p.avg_latency_ns)
+    }
+
+    /// Render as a fixed-width table like the paper's plots' underlying data.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.label));
+        out.push_str(
+            "offered(fl/ns/sw)  accepted(fl/ns/sw)  avg_lat(ns)    p99_lat(ns)    itbs/msg\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<18.5} {:<19.5} {:<14.1} {:<14.1} {:.3}\n",
+                p.offered, p.accepted, p.avg_latency_ns, p.p99_latency_ns, p.avg_itbs_per_msg
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(offered: f64, accepted: f64, lat: f64) -> CurvePoint {
+        CurvePoint {
+            offered,
+            accepted,
+            avg_latency_ns: lat,
+            p99_latency_ns: lat * 2.0,
+            avg_total_latency_ns: lat * 1.1,
+            avg_itbs_per_msg: 0.4,
+            delivered: 1000,
+        }
+    }
+
+    fn sample_curve() -> Curve {
+        let mut c = Curve::new("ITB-RR torus uniform");
+        c.push(point(0.005, 0.005, 4000.0));
+        c.push(point(0.010, 0.010, 4500.0));
+        c.push(point(0.020, 0.0199, 6000.0));
+        c.push(point(0.030, 0.0290, 12000.0));
+        c.push(point(0.040, 0.0310, 60000.0));
+        c
+    }
+
+    #[test]
+    fn throughput_is_max_accepted() {
+        let c = sample_curve();
+        assert_eq!(c.throughput(), 0.0310);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        let c = sample_curve();
+        // 0.040 is the first point where accepted (0.0310) falls below
+        // 95% of offered (0.038).
+        assert_eq!(c.saturation_offered(0.95), Some(0.040));
+        assert_eq!(c.saturation_offered(0.5), None);
+        // A stricter ratio flags the 0.030 point too (0.0290 < 0.030*0.97).
+        assert_eq!(c.saturation_offered(0.97), Some(0.030));
+    }
+
+    #[test]
+    fn zero_load_latency() {
+        let c = sample_curve();
+        assert_eq!(c.zero_load_latency_ns(), Some(4000.0));
+        assert_eq!(Curve::new("empty").zero_load_latency_ns(), None);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let c = sample_curve();
+        let t = c.to_table();
+        assert!(t.contains("ITB-RR torus uniform"));
+        assert!(t.lines().count() >= 7);
+        assert!(t.contains("0.00500"));
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = Curve::new("x");
+        assert_eq!(c.throughput(), 0.0);
+        assert_eq!(c.saturation_offered(0.9), None);
+    }
+}

@@ -1,0 +1,12 @@
+//! Measurement and reporting for `regnet` simulations: streaming statistics,
+//! latency histograms, latency-vs-throughput curves with saturation
+//! detection, and link-utilization summaries.
+
+mod curve;
+pub mod export;
+mod stats;
+mod util;
+
+pub use curve::{Curve, CurvePoint};
+pub use stats::{Histogram, RunningStats};
+pub use util::UtilizationSummary;

@@ -1,0 +1,186 @@
+//! Unidirectional pipelined channels with reverse-direction stop/go control.
+
+use crate::packet::NO_PACKET;
+
+/// Who receives the data flits of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// A switch input buffer.
+    SwitchIn { sw: u32, port: u8 },
+    /// A host NIC.
+    Nic { host: u32 },
+}
+
+/// Who drives the data flits of a channel (and therefore receives its
+/// stop/go control flits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sender {
+    /// A switch output port.
+    SwitchOut { sw: u32, port: u8 },
+    /// A host NIC.
+    Nic { host: u32 },
+}
+
+/// Stop/go control symbols travelling against the data direction.
+pub const CTL_NONE: u8 = 0;
+pub const CTL_STOP: u8 = 1;
+pub const CTL_GO: u8 = 2;
+
+/// One unidirectional channel: a delay line of `delay` flit slots, plus a
+/// parallel delay line for stop/go control symbols flowing the opposite way
+/// (Myrinet encodes control symbols inline; they do not consume data
+/// bandwidth).
+#[derive(Debug)]
+pub struct Channel {
+    pub sender: Sender,
+    pub receiver: Receiver,
+    delay: u32,
+    /// `data[c % delay]` is the flit that *arrives* at cycle `c`; a flit
+    /// written at cycle `c` (same index, after the arrival was consumed)
+    /// arrives at `c + delay`.
+    data: Box<[u32]>,
+    /// Same discipline for control symbols (written by the receiver side,
+    /// read by the sender side).
+    ctl: Box<[u8]>,
+    /// Data flits observed during the measurement window (utilization).
+    pub busy_cycles: u64,
+}
+
+impl Channel {
+    pub fn new(sender: Sender, receiver: Receiver, delay: u32) -> Channel {
+        assert!(delay > 0);
+        Channel {
+            sender,
+            receiver,
+            delay,
+            data: vec![NO_PACKET; delay as usize].into_boxed_slice(),
+            ctl: vec![CTL_NONE; delay as usize].into_boxed_slice(),
+            busy_cycles: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, cycle: u64) -> usize {
+        (cycle % self.delay as u64) as usize
+    }
+
+    /// Take the data flit arriving this cycle (if any), freeing the slot.
+    #[inline]
+    pub fn take_arrival(&mut self, cycle: u64) -> Option<u32> {
+        let s = self.slot(cycle);
+        let v = self.data[s];
+        if v == NO_PACKET {
+            None
+        } else {
+            self.data[s] = NO_PACKET;
+            self.busy_cycles += 1;
+            Some(v)
+        }
+    }
+
+    /// Send one flit of `packet`; it will arrive `delay` cycles from now.
+    /// Must be called after `take_arrival` for the same cycle.
+    #[inline]
+    pub fn send(&mut self, cycle: u64, packet: u32) {
+        let s = self.slot(cycle);
+        debug_assert_eq!(self.data[s], NO_PACKET, "channel slot collision");
+        self.data[s] = packet;
+    }
+
+    /// Take the control symbol arriving this cycle.
+    #[inline]
+    pub fn take_ctl_arrival(&mut self, cycle: u64) -> u8 {
+        let s = self.slot(cycle);
+        let v = self.ctl[s];
+        self.ctl[s] = CTL_NONE;
+        v
+    }
+
+    /// Emit a stop/go symbol towards the sender; arrives `delay` cycles
+    /// from now.
+    #[inline]
+    pub fn send_ctl(&mut self, cycle: u64, symbol: u8) {
+        let s = self.slot(cycle);
+        self.ctl[s] = symbol;
+    }
+
+    /// Any data flits still in flight?
+    pub fn has_data_in_flight(&self) -> bool {
+        self.data.iter().any(|&v| v != NO_PACKET)
+    }
+
+    /// Reset the utilization counter (start of the measurement window).
+    pub fn reset_busy(&mut self) {
+        self.busy_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> Channel {
+        Channel::new(
+            Sender::Nic { host: 0 },
+            Receiver::SwitchIn { sw: 0, port: 0 },
+            8,
+        )
+    }
+
+    #[test]
+    fn flit_takes_delay_cycles() {
+        let mut c = chan();
+        c.send(100, 42);
+        for cyc in 101..108 {
+            assert_eq!(c.take_arrival(cyc), None);
+        }
+        assert_eq!(c.take_arrival(108), Some(42));
+        assert_eq!(c.take_arrival(108), None, "slot freed after take");
+        assert!(!c.has_data_in_flight());
+    }
+
+    #[test]
+    fn back_to_back_flits() {
+        let mut c = chan();
+        for i in 0..20u64 {
+            // Receiver first, sender second, every cycle.
+            let got = c.take_arrival(i);
+            if i >= 8 {
+                assert_eq!(got, Some((i - 8) as u32));
+            } else {
+                assert_eq!(got, None);
+            }
+            c.send(i, i as u32);
+        }
+        assert_eq!(c.busy_cycles, 12);
+    }
+
+    #[test]
+    fn control_symbols_travel_independently() {
+        let mut c = chan();
+        c.send(50, 7);
+        c.send_ctl(50, CTL_STOP);
+        assert_eq!(c.take_ctl_arrival(57), CTL_NONE);
+        assert_eq!(c.take_ctl_arrival(58), CTL_STOP);
+        assert_eq!(c.take_ctl_arrival(58), CTL_NONE);
+        assert_eq!(c.take_arrival(58), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot collision")]
+    fn double_send_panics_in_debug() {
+        let mut c = chan();
+        c.send(10, 1);
+        c.send(10, 2);
+    }
+
+    #[test]
+    fn reset_busy() {
+        let mut c = chan();
+        c.send(0, 1);
+        c.take_arrival(8);
+        assert_eq!(c.busy_cycles, 1);
+        c.reset_busy();
+        assert_eq!(c.busy_cycles, 0);
+    }
+}

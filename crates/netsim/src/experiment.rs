@@ -1,0 +1,341 @@
+//! High-level experiment driver: one offered-load point, a full
+//! latency/throughput curve, or a saturation-throughput search — the three
+//! operations behind every table and figure of the paper.
+
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_metrics::{Curve, CurvePoint, UtilizationSummary};
+use regnet_topology::Topology;
+use regnet_traffic::{Pattern, PatternSpec};
+
+use crate::config::SimConfig;
+use crate::sim::{ChannelDesc, RunStats, Simulator};
+
+/// Per-run options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Cycles simulated before measurement starts (fills the network to
+    /// steady state).
+    pub warmup_cycles: u64,
+    /// Length of the measurement window, cycles.
+    pub measure_cycles: u64,
+    /// RNG seed (generation phases, destination draws, path sampling).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            warmup_cycles: 100_000,
+            measure_cycles: 300_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Options for [`Experiment::find_throughput`].
+#[derive(Debug, Clone)]
+pub struct ThroughputSearch {
+    /// First offered load probed (flits/ns/switch).
+    pub start: f64,
+    /// Multiplicative step of the load ladder.
+    pub growth: f64,
+    /// Stop after this many saturated points in a row.
+    pub saturated_points: usize,
+    /// A point counts as saturated when accepted < ratio × offered.
+    pub ratio: f64,
+    /// Hard cap on probed points.
+    pub max_points: usize,
+}
+
+impl Default for ThroughputSearch {
+    fn default() -> Self {
+        ThroughputSearch {
+            start: 0.002,
+            growth: 1.35,
+            saturated_points: 2,
+            ratio: 0.92,
+            max_points: 24,
+        }
+    }
+}
+
+/// A fully prepared experiment: topology, routing tables, traffic pattern
+/// and hardware parameters. Cheap to query repeatedly at different offered
+/// loads; immutable, so sweeps can run points from several threads.
+pub struct Experiment {
+    topo: Topology,
+    db: RouteDb,
+    pattern: Pattern,
+    cfg: SimConfig,
+    scheme: RoutingScheme,
+}
+
+impl Experiment {
+    /// Build the routing tables and resolve the traffic pattern.
+    pub fn new(
+        topo: Topology,
+        scheme: RoutingScheme,
+        db_cfg: RouteDbConfig,
+        pattern: PatternSpec,
+        cfg: SimConfig,
+    ) -> Result<Experiment, String> {
+        cfg.validate()?;
+        let db = RouteDb::build(&topo, scheme, &db_cfg);
+        let pattern = Pattern::resolve(pattern, &topo)?;
+        Ok(Experiment {
+            topo,
+            db,
+            pattern,
+            cfg,
+            scheme,
+        })
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn scheme(&self) -> RoutingScheme {
+        self.scheme
+    }
+
+    pub fn route_db(&self) -> &RouteDb {
+        &self.db
+    }
+
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Run the raw simulation at one offered load and return the full
+    /// [`RunStats`] (latency, ITB counters, per-channel utilization).
+    pub fn run_stats(&self, offered: f64, opts: &RunOptions) -> RunStats {
+        let mut sim = Simulator::new(
+            &self.topo,
+            &self.db,
+            &self.pattern,
+            self.cfg.clone(),
+            offered,
+            opts.seed,
+        );
+        sim.run(opts.warmup_cycles);
+        sim.begin_measurement();
+        sim.run(opts.measure_cycles);
+        sim.end_measurement(opts.measure_cycles)
+    }
+
+    /// Run one offered-load point and summarise it as a [`CurvePoint`].
+    pub fn run_point(&self, offered: f64, opts: &RunOptions) -> CurvePoint {
+        let stats = self.run_stats(offered, opts);
+        self.to_point(offered, &stats)
+    }
+
+    fn to_point(&self, offered: f64, stats: &RunStats) -> CurvePoint {
+        CurvePoint {
+            offered,
+            accepted: stats.accepted_flits_per_ns_per_switch(self.topo.num_switches()),
+            avg_latency_ns: stats.avg_latency_ns,
+            p99_latency_ns: stats.p99_latency_ns,
+            avg_total_latency_ns: stats.avg_total_latency_ns,
+            avg_itbs_per_msg: stats.avg_itbs_per_msg,
+            delivered: stats.delivered,
+        }
+    }
+
+    /// Sweep a latency/throughput curve over `loads`, running points on
+    /// `threads` OS threads (1 = sequential).
+    pub fn sweep(&self, loads: &[f64], opts: &RunOptions, threads: usize) -> Curve {
+        let mut curve = Curve::new(format!(
+            "{} / {} / {}",
+            self.topo.name(),
+            self.scheme.label(),
+            self.pattern.spec().label()
+        ));
+        if threads <= 1 || loads.len() <= 1 {
+            for &l in loads {
+                curve.push(self.run_point(l, opts));
+            }
+            return curve;
+        }
+        let mut points: Vec<Option<CurvePoint>> = vec![None; loads.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads.min(loads.len()) {
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= loads.len() {
+                            break;
+                        }
+                        mine.push((i, self.run_point(loads[i], opts)));
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (i, p) in h.join().expect("sweep worker panicked") {
+                    points[i] = Some(p);
+                }
+            }
+        });
+        for p in points {
+            curve.push(p.expect("missing sweep point"));
+        }
+        curve
+    }
+
+    /// Search for the saturation throughput (the paper's per-table
+    /// "throughput" numbers): climb a geometric load ladder until the
+    /// network stops accepting the offered traffic, and report the highest
+    /// accepted traffic seen.
+    pub fn find_throughput(&self, search: &ThroughputSearch, opts: &RunOptions) -> f64 {
+        let mut best = 0.0f64;
+        let mut offered = search.start;
+        let mut saturated_run = 0;
+        for _ in 0..search.max_points {
+            let p = self.run_point(offered, opts);
+            best = best.max(p.accepted);
+            if p.accepted < offered * search.ratio {
+                saturated_run += 1;
+                if saturated_run >= search.saturated_points {
+                    break;
+                }
+            } else {
+                saturated_run = 0;
+            }
+            offered *= search.growth;
+        }
+        best
+    }
+
+    /// Link-utilization summary at one offered load, restricted to
+    /// switch↔switch channels (what the paper's Figures 8/9/11 map).
+    pub fn link_utilization(
+        &self,
+        offered: f64,
+        opts: &RunOptions,
+    ) -> (UtilizationSummary, Vec<ChannelDesc>) {
+        let mut sim = Simulator::new(
+            &self.topo,
+            &self.db,
+            &self.pattern,
+            self.cfg.clone(),
+            offered,
+            opts.seed,
+        );
+        let descs = sim.channel_descriptors();
+        sim.run(opts.warmup_cycles);
+        sim.begin_measurement();
+        sim.run(opts.measure_cycles);
+        let stats = sim.end_measurement(opts.measure_cycles);
+        let mut busy = Vec::new();
+        let mut kept = Vec::new();
+        for (d, &b) in descs.iter().zip(&stats.channel_busy) {
+            if d.switch_link {
+                busy.push(b);
+                kept.push(*d);
+            }
+        }
+        (
+            UtilizationSummary::from_busy_cycles(&busy, opts.measure_cycles),
+            kept,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regnet_topology::gen;
+
+    fn quick_opts() -> RunOptions {
+        RunOptions {
+            warmup_cycles: 5_000,
+            measure_cycles: 40_000,
+            seed: 3,
+        }
+    }
+
+    fn small_exp(scheme: RoutingScheme) -> Experiment {
+        Experiment::new(
+            gen::torus_2d(4, 4, 2).unwrap(),
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            SimConfig {
+                payload_flits: 64,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_point_accepts_offered_at_low_load() {
+        let exp = small_exp(RoutingScheme::ItbRr);
+        let p = exp.run_point(0.003, &quick_opts());
+        assert!(p.delivered > 10);
+        assert!((p.accepted - 0.003).abs() / 0.003 < 0.15);
+        assert!(p.avg_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn sweep_parallel_equals_sequential() {
+        let exp = small_exp(RoutingScheme::UpDown);
+        let loads = [0.002, 0.004, 0.006];
+        let seq = exp.sweep(&loads, &quick_opts(), 1);
+        let par = exp.sweep(&loads, &quick_opts(), 3);
+        assert_eq!(seq.points.len(), par.points.len());
+        for (a, b) in seq.points.iter().zip(&par.points) {
+            assert_eq!(
+                a.delivered, b.delivered,
+                "parallel sweep must be deterministic"
+            );
+            assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
+        }
+    }
+
+    #[test]
+    fn find_throughput_converges() {
+        let exp = small_exp(RoutingScheme::UpDown);
+        let t = exp.find_throughput(
+            &ThroughputSearch {
+                start: 0.004,
+                growth: 1.6,
+                ..ThroughputSearch::default()
+            },
+            &quick_opts(),
+        );
+        assert!(t > 0.004, "throughput {t} too small");
+        assert!(t < 0.5, "throughput {t} unreasonably large");
+    }
+
+    #[test]
+    fn link_utilization_switch_links_only() {
+        let exp = small_exp(RoutingScheme::UpDown);
+        let (util, descs) = exp.link_utilization(0.006, &quick_opts());
+        // 4x4 torus: 32 switch links = 64 directed channels.
+        assert_eq!(descs.len(), 64);
+        assert_eq!(util.per_channel.len(), 64);
+        assert!(util.max() > 0.0);
+        assert!(util.max() <= 1.0);
+        assert!(descs.iter().all(|d| d.switch_link));
+    }
+
+    #[test]
+    fn invalid_pattern_is_rejected() {
+        // Bit-reversal on a non-power-of-two host count must fail at
+        // construction, not at run time.
+        let err = Experiment::new(
+            gen::cplant().unwrap(),
+            RoutingScheme::UpDown,
+            RouteDbConfig::default(),
+            PatternSpec::BitReversal,
+            SimConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-switch simulation state: input buffers with stop&go flow control,
+//! the routing control unit, and output-port arbitration state.
+
+use std::collections::VecDeque;
+
+use crate::channel::{CTL_GO, CTL_STOP};
+use crate::config::SimConfig;
+
+/// A packet resident (partially or fully) in one input buffer.
+#[derive(Debug)]
+pub struct InPkt {
+    pub pid: u32,
+    /// Flits that will arrive at this input for this packet.
+    pub expected: u32,
+    pub received: u32,
+    /// Flits forwarded to the output (excludes the consumed header byte).
+    pub forwarded: u32,
+    /// Has the routing control unit removed the first header flit?
+    pub header_consumed: bool,
+}
+
+impl InPkt {
+    /// Flits buffered and ready to forward right now.
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.received - u32::from(self.header_consumed) - self.forwarded
+    }
+
+    /// Has every forwardable flit been forwarded?
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.forwarded == self.expected - 1
+    }
+}
+
+/// Routing progress of the packet at the head of an input queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadState {
+    /// Waiting for the head packet's first flit (or no packet at all).
+    Idle,
+    /// The routing control unit is processing the header (150 ns).
+    Routing { ready: u64 },
+    /// Waiting for the requested output port.
+    Requesting,
+    /// Connected through the crossbar; flits are streaming.
+    Granted,
+}
+
+/// One switch input port: slack buffer + routing control unit.
+#[derive(Debug)]
+pub struct InPort {
+    /// Channel whose flits arrive here (index into the simulator's channel
+    /// table); stop/go symbols are sent back on it.
+    pub in_chan: u32,
+    /// Buffer occupancy in flits.
+    pub occ: u16,
+    /// Packets in arrival order; only the head can be routed/forwarded.
+    pub queue: VecDeque<InPkt>,
+    /// Routing state of `queue[0]`.
+    pub head: HeadState,
+    /// Output port requested by `queue[0]` (valid once routed).
+    pub head_out: u8,
+    /// Last flow-control symbol we sent was STOP.
+    pub stop_sent: bool,
+}
+
+impl InPort {
+    pub fn new(in_chan: u32) -> InPort {
+        InPort {
+            in_chan,
+            occ: 0,
+            queue: VecDeque::new(),
+            head: HeadState::Idle,
+            head_out: 0,
+            stop_sent: false,
+        }
+    }
+
+    /// Account one arriving flit; returns `Some(CTL_STOP)` when the STOP
+    /// threshold is crossed.
+    #[inline]
+    pub fn on_flit_in(&mut self, cfg: &SimConfig) -> Option<u8> {
+        self.occ += 1;
+        debug_assert!(
+            self.occ <= cfg.slack_buffer_flits,
+            "slack buffer overflow: flow control failed (occ {})",
+            self.occ
+        );
+        if self.occ > cfg.stop_threshold && !self.stop_sent {
+            self.stop_sent = true;
+            Some(CTL_STOP)
+        } else {
+            None
+        }
+    }
+
+    /// Account one flit leaving the buffer (forwarded or consumed); returns
+    /// `Some(CTL_GO)` when the GO threshold is crossed.
+    #[inline]
+    pub fn on_flit_out(&mut self, cfg: &SimConfig) -> Option<u8> {
+        debug_assert!(self.occ > 0);
+        self.occ -= 1;
+        if self.occ < cfg.go_threshold && self.stop_sent {
+            self.stop_sent = false;
+            Some(CTL_GO)
+        } else {
+            None
+        }
+    }
+}
+
+/// One switch output port.
+#[derive(Debug)]
+pub struct OutPort {
+    /// Channel this port drives.
+    pub out_chan: u32,
+    /// Input port currently connected through the crossbar.
+    pub conn_in: Option<u8>,
+    /// STOP received from the downstream receiver.
+    pub stopped: bool,
+    /// Round-robin pointer for demand-slotted arbitration.
+    pub rr: u8,
+}
+
+impl OutPort {
+    pub fn new(out_chan: u32) -> OutPort {
+        OutPort {
+            out_chan,
+            conn_in: None,
+            stopped: false,
+            rr: 0,
+        }
+    }
+}
+
+/// All simulation state of one switch.
+#[derive(Debug)]
+pub struct SwitchState {
+    /// Indexed by port; `None` where nothing is connected.
+    pub inp: Vec<Option<InPort>>,
+    pub outp: Vec<Option<OutPort>>,
+    /// Port indices that are actually connected (iteration order for
+    /// arbitration).
+    pub active_ports: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_go_thresholds() {
+        let cfg = SimConfig::default();
+        let mut p = InPort::new(0);
+        let mut stop_at = None;
+        for i in 1..=60u16 {
+            if p.on_flit_in(&cfg) == Some(CTL_STOP) {
+                stop_at = Some(i);
+                break;
+            }
+        }
+        // STOP when occupancy *exceeds* 56.
+        assert_eq!(stop_at, Some(57));
+        assert!(p.stop_sent);
+        // No repeated STOP while draining slightly.
+        let mut go_at = None;
+        for i in 1..=60u16 {
+            if p.on_flit_out(&cfg) == Some(CTL_GO) {
+                go_at = Some(i);
+                break;
+            }
+        }
+        // occ 57 -> GO when it drops *below* 40, i.e. at 39 (18 drains).
+        assert_eq!(go_at, Some(18));
+        assert!(!p.stop_sent);
+    }
+
+    #[test]
+    fn no_spurious_signals() {
+        let cfg = SimConfig::default();
+        let mut p = InPort::new(0);
+        for _ in 0..20 {
+            assert_eq!(p.on_flit_in(&cfg), None);
+        }
+        for _ in 0..20 {
+            assert_eq!(p.on_flit_out(&cfg), None);
+        }
+    }
+
+    #[test]
+    fn inpkt_accounting() {
+        let mut pkt = InPkt {
+            pid: 1,
+            expected: 10,
+            received: 1,
+            forwarded: 0,
+            header_consumed: false,
+        };
+        assert_eq!(pkt.available(), 1);
+        pkt.header_consumed = true;
+        assert_eq!(pkt.available(), 0);
+        pkt.received = 10;
+        assert_eq!(pkt.available(), 9);
+        pkt.forwarded = 9;
+        assert_eq!(pkt.available(), 0);
+        assert!(pkt.done());
+    }
+}

@@ -1,0 +1,218 @@
+//! Enumeration and counting of graph-minimal paths.
+//!
+//! The in-transit buffer mechanism routes every packet on a *minimal* path;
+//! the round-robin policy additionally wants several alternative minimal
+//! paths per pair (the paper caps the routing table at 10 alternatives).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use regnet_topology::{DistanceMatrix, SwitchId, Topology};
+
+use crate::path::SwitchPath;
+
+/// Number of distinct minimal paths between two switches (dynamic program
+/// over the shortest-path DAG). Saturates at `u64::MAX`.
+pub fn count_minimal_paths(
+    topo: &Topology,
+    dm: &DistanceMatrix,
+    src: SwitchId,
+    dst: SwitchId,
+) -> u64 {
+    if src == dst {
+        return 1;
+    }
+    let d = dm.get(src, dst);
+    // counts[s] = number of minimal paths from s to dst, filled in by
+    // increasing distance from dst.
+    let mut order: Vec<SwitchId> = topo.switches().filter(|&s| dm.get(s, dst) <= d).collect();
+    order.sort_unstable_by_key(|&s| dm.get(s, dst));
+    let mut counts = vec![0u64; topo.num_switches()];
+    counts[dst.idx()] = 1;
+    for &s in order.iter().skip(1) {
+        let ds = dm.get(s, dst);
+        let mut total: u64 = 0;
+        for (_, t, _) in topo.switch_neighbors(s) {
+            if dm.get(t, dst) + 1 == ds {
+                total = total.saturating_add(counts[t.idx()]);
+            }
+        }
+        counts[s.idx()] = total;
+    }
+    counts[src.idx()]
+}
+
+/// Enumerate up to `k` distinct minimal paths from `src` to `dst`.
+///
+/// Paths are discovered by seeded randomised walks over the shortest-path
+/// DAG, which yields a diverse sample (walks that share long prefixes are
+/// no more likely than the DAG structure dictates). The result is
+/// deterministic for a given `seed`, sorted for stability, and contains the
+/// full set when fewer than `k` minimal paths exist.
+pub fn k_minimal_paths(
+    topo: &Topology,
+    dm: &DistanceMatrix,
+    src: SwitchId,
+    dst: SwitchId,
+    k: usize,
+    seed: u64,
+) -> Vec<SwitchPath> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if src == dst {
+        return vec![SwitchPath::new(vec![src])];
+    }
+    let total = count_minimal_paths(topo, dm, src, dst);
+    let want = (total.min(k as u64)) as usize;
+
+    let mut found: Vec<Vec<SwitchId>> = Vec::with_capacity(want);
+    if total <= k as u64 * 4 {
+        // Few enough paths: enumerate exhaustively by DFS, then subsample.
+        let mut stack = vec![src];
+        dfs_all(topo, dm, dst, &mut stack, &mut found, k * 4);
+    } else {
+        // Sample by randomised walks until `want` distinct paths are found.
+        let mut rng = SmallRng::seed_from_u64(seed ^ ((src.0 as u64) << 32) ^ dst.0 as u64);
+        let mut tries = 0;
+        let max_tries = 200 * k;
+        while found.len() < want && tries < max_tries {
+            tries += 1;
+            let mut walk = vec![src];
+            let mut cur = src;
+            while cur != dst {
+                let dc = dm.get(cur, dst);
+                let nexts: Vec<SwitchId> = topo
+                    .switch_neighbors(cur)
+                    .filter(|&(_, t, _)| dm.get(t, dst) + 1 == dc)
+                    .map(|(_, t, _)| t)
+                    .collect();
+                cur = nexts[rng.gen_range(0..nexts.len())];
+                walk.push(cur);
+            }
+            if !found.contains(&walk) {
+                found.push(walk);
+            }
+        }
+    }
+    found.sort_unstable();
+    found.dedup();
+    found.truncate(k);
+    found.into_iter().map(SwitchPath::new).collect()
+}
+
+fn dfs_all(
+    topo: &Topology,
+    dm: &DistanceMatrix,
+    dst: SwitchId,
+    stack: &mut Vec<SwitchId>,
+    out: &mut Vec<Vec<SwitchId>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let cur = *stack.last().unwrap();
+    if cur == dst {
+        out.push(stack.clone());
+        return;
+    }
+    let dc = dm.get(cur, dst);
+    let mut nexts: Vec<SwitchId> = topo
+        .switch_neighbors(cur)
+        .filter(|&(_, t, _)| dm.get(t, dst) + 1 == dc)
+        .map(|(_, t, _)| t)
+        .collect();
+    nexts.sort_unstable();
+    nexts.dedup();
+    for t in nexts {
+        stack.push(t);
+        dfs_all(topo, dm, dst, stack, out, cap);
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regnet_topology::gen;
+
+    #[test]
+    fn counts_on_torus() {
+        let topo = gen::torus_2d(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        // Straight line: exactly one minimal path.
+        assert_eq!(count_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(3)), 1);
+        // (0,0) -> (2,2): C(4,2) = 6 lattice paths.
+        assert_eq!(
+            count_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(18)),
+            6
+        );
+        // Same switch: one (empty) path.
+        assert_eq!(count_minimal_paths(&topo, &dm, SwitchId(5), SwitchId(5)), 1);
+    }
+
+    #[test]
+    fn enumeration_is_minimal_and_distinct() {
+        let topo = gen::torus_2d(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        let paths = k_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(18), 10, 7);
+        assert_eq!(paths.len(), 6); // only 6 exist
+        for p in &paths {
+            assert!(p.is_connected(&topo));
+            assert!(p.is_minimal(&dm));
+            assert_eq!(p.src(), SwitchId(0));
+            assert_eq!(p.dst(), SwitchId(18));
+        }
+        let mut dedup = paths.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), paths.len());
+    }
+
+    #[test]
+    fn caps_at_k() {
+        let topo = gen::torus_2d(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        // (0,0) -> (4,4) wraps either way: lots of minimal paths.
+        let n = count_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(36));
+        assert!(n > 10, "{n}");
+        let paths = k_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(36), 10, 3);
+        assert_eq!(paths.len(), 10);
+        for p in &paths {
+            assert!(p.is_minimal(&dm));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let topo = gen::torus_2d(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        let a = k_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(36), 10, 3);
+        let b = k_minimal_paths(&topo, &dm, SwitchId(0), SwitchId(36), 10, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_switch_pair() {
+        let topo = gen::torus_2d(4, 4, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        let p = k_minimal_paths(&topo, &dm, SwitchId(2), SwitchId(2), 10, 0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len_links(), 0);
+    }
+
+    #[test]
+    fn express_torus_counts_consistent() {
+        let topo = gen::torus_2d_express(8, 8, 1).unwrap();
+        let dm = DistanceMatrix::compute(&topo);
+        for (s, d) in [(0u32, 36u32), (0, 9), (3, 60)] {
+            let n = count_minimal_paths(&topo, &dm, SwitchId(s), SwitchId(d));
+            let paths = k_minimal_paths(&topo, &dm, SwitchId(s), SwitchId(d), 64, 5);
+            if n <= 64 {
+                assert_eq!(paths.len() as u64, n, "{s}->{d}");
+            } else {
+                assert_eq!(paths.len(), 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz export: render a topology (optionally with per-switch labels,
+//! e.g. up/down tree levels or utilization) as a `dot` graph.
+
+use std::fmt::Write as _;
+
+use crate::graph::Topology;
+use crate::orientation::Orientation;
+
+/// Render the switch graph as Graphviz `dot`. Host counts are shown inside
+/// each switch node; pass an [`Orientation`] to annotate every link with an
+/// arrowhead pointing at its "up" end and to rank switches by tree level.
+pub fn to_dot(topo: &Topology, orient: Option<&Orientation>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// {}", topo.name());
+    let directed = orient.is_some();
+    let _ = writeln!(out, "{} regnet {{", if directed { "digraph" } else { "graph" });
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for s in topo.switches() {
+        let hosts = topo.hosts_of(s).len();
+        let extra = match orient {
+            Some(o) => format!("\\nlevel {}", o.level(s)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{s}\\n{hosts} hosts{extra}\"];",
+            s.0
+        );
+    }
+    for link in topo.links() {
+        if let Some((a, b)) = link.switch_ends() {
+            match orient {
+                Some(o) => {
+                    // Draw the edge pointing "up".
+                    let up = o.up_end(a, b);
+                    let down = if up == a { b } else { a };
+                    let _ = writeln!(out, "  s{} -> s{};", down.0, up.0);
+                }
+                None => {
+                    let _ = writeln!(out, "  s{} -- s{};", a.0, b.0);
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ids::SwitchId;
+
+    #[test]
+    fn undirected_dot() {
+        let t = gen::torus_2d(2, 2, 1).unwrap();
+        let d = to_dot(&t, None);
+        assert!(d.starts_with("// torus-2x2\ngraph regnet {"));
+        assert_eq!(d.matches(" -- ").count(), t.num_switch_links());
+        assert!(d.contains("s0 [label=\"s0\\n1 hosts\"]"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn oriented_dot_points_up() {
+        let t = gen::torus_2d(4, 4, 1).unwrap();
+        let o = Orientation::compute(&t, SwitchId(0));
+        let d = to_dot(&t, Some(&o));
+        assert!(d.contains("digraph"));
+        assert_eq!(d.matches(" -> ").count(), t.num_switch_links());
+        assert!(d.contains("level 0"));
+        // Every arrow into s0 (the root), never out of it.
+        assert!(d.contains("-> s0;"));
+        assert!(!d.contains("s0 -> "));
+    }
+}

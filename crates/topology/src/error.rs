@@ -1,0 +1,41 @@
+//! Error type for topology construction.
+
+use crate::ids::SwitchId;
+
+/// Errors raised while building or validating a [`Topology`](crate::Topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A switch ran out of free ports.
+    NoFreePort(SwitchId),
+    /// A switch id was out of range.
+    UnknownSwitch(SwitchId),
+    /// A link would connect a switch to itself.
+    SelfLoop(SwitchId),
+    /// The switch graph is not connected.
+    Disconnected { reachable: usize, total: usize },
+    /// The network has no switches.
+    Empty,
+    /// The network has no hosts (nothing could send or receive).
+    NoHosts,
+    /// A generator was given invalid parameters.
+    BadParameters(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoFreePort(s) => write!(f, "switch {s} has no free port"),
+            TopologyError::UnknownSwitch(s) => write!(f, "switch {s} does not exist"),
+            TopologyError::SelfLoop(s) => write!(f, "refusing to connect {s} to itself"),
+            TopologyError::Disconnected { reachable, total } => write!(
+                f,
+                "switch graph is not connected: {reachable} of {total} switches reachable"
+            ),
+            TopologyError::Empty => write!(f, "topology has no switches"),
+            TopologyError::NoHosts => write!(f, "topology has no hosts"),
+            TopologyError::BadParameters(msg) => write!(f, "bad generator parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

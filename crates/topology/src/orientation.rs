@@ -1,0 +1,150 @@
+//! Autonet-style "up"/"down" direction assignment.
+//!
+//! Following the Autonet rules used by Myrinet [Schroeder et al., SRC-59]:
+//! after computing a breadth-first spanning tree, the "up" end of every link
+//! is (1) the end whose switch is closer to the root, or (2) the end whose
+//! switch has the lower id when both ends are at the same tree level. The
+//! assignment guarantees that every cycle in the network has at least one
+//! link in the "up" direction and one in the "down" direction, so forbidding
+//! down→up transitions breaks every cyclic channel dependency.
+
+use crate::graph::Topology;
+use crate::ids::SwitchId;
+use crate::tree::SpanningTree;
+
+/// The up/down orientation of every switch-to-switch link.
+///
+/// Because the orientation of a link depends only on the tree levels and ids
+/// of its two endpoint switches, orientation queries take the two switches
+/// rather than a link id — parallel links always share an orientation.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    root: SwitchId,
+    level: Vec<u32>,
+}
+
+impl Orientation {
+    /// Derive the orientation from a spanning tree.
+    pub fn from_tree(topo: &Topology, tree: &SpanningTree) -> Orientation {
+        Orientation {
+            root: tree.root(),
+            level: topo.switches().map(|s| tree.level(s)).collect(),
+        }
+    }
+
+    /// Convenience: BFS tree from `root`, then orient.
+    pub fn compute(topo: &Topology, root: SwitchId) -> Orientation {
+        Orientation::from_tree(topo, &SpanningTree::bfs(topo, root))
+    }
+
+    /// The root switch the tree was computed from.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// Tree level of a switch.
+    pub fn level(&self, s: SwitchId) -> u32 {
+        self.level[s.idx()]
+    }
+
+    /// Is traversing a link from `from` to `to` an "up" move (towards the
+    /// up end)?
+    ///
+    /// `from` and `to` must be adjacent switches for the answer to be
+    /// meaningful; the predicate itself only needs their levels/ids.
+    #[inline]
+    pub fn is_up_move(&self, from: SwitchId, to: SwitchId) -> bool {
+        let (lf, lt) = (self.level[from.idx()], self.level[to.idx()]);
+        lt < lf || (lt == lf && to < from)
+    }
+
+    /// The switch at the "up" end of a link between `a` and `b`.
+    pub fn up_end(&self, a: SwitchId, b: SwitchId) -> SwitchId {
+        if self.is_up_move(b, a) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn root_is_up_from_neighbours() {
+        let topo = gen::torus_2d(4, 4, 1).unwrap();
+        let o = Orientation::compute(&topo, SwitchId(0));
+        for (_, n, _) in topo.switch_neighbors(SwitchId(0)) {
+            assert!(o.is_up_move(n, SwitchId(0)));
+            assert!(!o.is_up_move(SwitchId(0), n));
+        }
+    }
+
+    #[test]
+    fn same_level_ties_break_by_id() {
+        // Use a torus with an odd ring: even-sized tori are bipartite and
+        // have no adjacent same-level pairs at all.
+        let topo = gen::torus_2d(4, 5, 1).unwrap();
+        let o = Orientation::compute(&topo, SwitchId(0));
+        let mut found = false;
+        for s in topo.switches() {
+            for (_, t, _) in topo.switch_neighbors(s) {
+                if o.level(s) == o.level(t) && s != t {
+                    found = true;
+                    assert_eq!(o.is_up_move(s, t), t < s);
+                    assert_eq!(o.up_end(s, t), s.min(t));
+                }
+            }
+        }
+        assert!(found, "expected at least one same-level adjacent pair");
+    }
+
+    #[test]
+    fn exactly_one_direction_is_up() {
+        let topo = gen::torus_2d_express(4, 4, 1).unwrap();
+        let o = Orientation::compute(&topo, SwitchId(3));
+        for link in topo.links() {
+            if let Some((a, b)) = link.switch_ends() {
+                assert_ne!(o.is_up_move(a, b), o.is_up_move(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn every_cycle_has_up_and_down() {
+        // The up*/down* safety property: orient all switch links from their
+        // down end to their up end; the resulting directed graph must be
+        // acyclic (each undirected cycle then necessarily contains both an
+        // up and a down link in either traversal direction).
+        let topo = gen::cplant().unwrap();
+        let o = Orientation::compute(&topo, SwitchId(0));
+        let n = topo.num_switches();
+        // Edges point "up": from lower (down) end to up end.
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for link in topo.links() {
+            if let Some((a, b)) = link.switch_ends() {
+                let up = o.up_end(a, b);
+                let down = if up == a { b } else { a };
+                adj[down.idx()].push(up.idx());
+                indeg[up.idx()] += 1;
+            }
+        }
+        // Kahn's algorithm: all nodes must be removable.
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut removed = 0;
+        while let Some(u) = queue.pop() {
+            removed += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(removed, n, "up-direction graph must be acyclic");
+    }
+}

@@ -1,0 +1,119 @@
+//! Breadth-first spanning tree, the basis of up\*/down\* routing.
+
+use std::collections::VecDeque;
+
+use crate::graph::Topology;
+use crate::ids::SwitchId;
+
+/// A breadth-first spanning tree over the switch graph.
+///
+/// Ties during the BFS are broken by switch id (neighbours are visited in
+/// id order), which matches the deterministic behaviour of Myrinet's mapper
+/// and makes every run reproducible.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    root: SwitchId,
+    parent: Vec<Option<SwitchId>>,
+    level: Vec<u32>,
+}
+
+impl SpanningTree {
+    /// Compute the BFS spanning tree rooted at `root`.
+    pub fn bfs(topo: &Topology, root: SwitchId) -> SpanningTree {
+        let n = topo.num_switches();
+        assert!(root.idx() < n, "root {root} out of range");
+        let mut parent = vec![None; n];
+        let mut level = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        level[root.idx()] = 0;
+        queue.push_back(root);
+        while let Some(s) = queue.pop_front() {
+            let mut neighbours: Vec<SwitchId> =
+                topo.switch_neighbors(s).map(|(_, t, _)| t).collect();
+            neighbours.sort_unstable();
+            neighbours.dedup();
+            for t in neighbours {
+                if level[t.idx()] == u32::MAX {
+                    level[t.idx()] = level[s.idx()] + 1;
+                    parent[t.idx()] = Some(s);
+                    queue.push_back(t);
+                }
+            }
+        }
+        debug_assert!(
+            level.iter().all(|&l| l != u32::MAX),
+            "topology validation guarantees connectivity"
+        );
+        SpanningTree {
+            root,
+            parent,
+            level,
+        }
+    }
+
+    /// The root switch.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// Tree level (distance from the root along the tree) of a switch.
+    pub fn level(&self, s: SwitchId) -> u32 {
+        self.level[s.idx()]
+    }
+
+    /// The parent of a switch in the tree; `None` for the root.
+    pub fn parent(&self, s: SwitchId) -> Option<SwitchId> {
+        self.parent[s.idx()]
+    }
+
+    /// The deepest level of the tree.
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn torus_tree_levels() {
+        let topo = gen::torus_2d(4, 4, 1).unwrap();
+        let tree = SpanningTree::bfs(&topo, SwitchId(0));
+        assert_eq!(tree.root(), SwitchId(0));
+        assert_eq!(tree.level(SwitchId(0)), 0);
+        // Direct neighbours of 0 sit at level 1.
+        for l in [1u32, 3, 4, 12] {
+            assert_eq!(tree.level(SwitchId(l)), 1, "switch {l}");
+        }
+        // Farthest switch in a 4x4 torus is 2+2 hops away.
+        assert_eq!(tree.level(SwitchId(10)), 4);
+        assert_eq!(tree.depth(), 4);
+    }
+
+    #[test]
+    fn parents_form_a_tree() {
+        let topo = gen::torus_2d(4, 4, 1).unwrap();
+        let tree = SpanningTree::bfs(&topo, SwitchId(5));
+        assert_eq!(tree.parent(SwitchId(5)), None);
+        for s in topo.switches() {
+            if s != SwitchId(5) {
+                let p = tree.parent(s).expect("non-root must have a parent");
+                assert_eq!(tree.level(p) + 1, tree.level(s));
+                // Parent must actually be adjacent.
+                assert!(topo.port_to(s, p).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = gen::torus_2d(4, 4, 1).unwrap();
+        let a = SpanningTree::bfs(&topo, SwitchId(0));
+        let b = SpanningTree::bfs(&topo, SwitchId(0));
+        for s in topo.switches() {
+            assert_eq!(a.parent(s), b.parent(s));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the topology substrate.
+
+use proptest::prelude::*;
+
+use regnet_topology::{gen, DistanceMatrix, Orientation, PortTarget, SpanningTree, SwitchId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generator invariants on random irregular networks.
+    #[test]
+    fn irregular_generator_invariants(
+        n in 2usize..24,
+        degree in 1usize..5,
+        hosts in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let t = gen::irregular_random(n, degree, hosts, seed).unwrap();
+        prop_assert_eq!(t.num_switches(), n);
+        prop_assert_eq!(t.num_hosts(), n * hosts);
+        // Port bookkeeping: occupied ports equal links*2 + hosts.
+        let occupied: usize = t.switches().map(|s| t.occupied_ports(s)).sum();
+        prop_assert_eq!(occupied, t.num_switch_links() * 2 + t.num_hosts());
+        // Host id convention.
+        for h in t.hosts() {
+            prop_assert_eq!(t.host_switch(h).idx(), h.idx() / hosts);
+        }
+        // Every port target is symmetric.
+        for s in t.switches() {
+            for (p, target) in t.ports_of(s) {
+                match target {
+                    PortTarget::Switch { to, to_port, link } => {
+                        match t.port_target(to, to_port) {
+                            Some(PortTarget::Switch { to: back, to_port: bp, link: bl }) => {
+                                prop_assert_eq!(back, s);
+                                prop_assert_eq!(bp, p);
+                                prop_assert_eq!(bl, link);
+                            }
+                            other => return Err(TestCaseError::fail(format!("asymmetric port: {other:?}"))),
+                        }
+                    }
+                    PortTarget::Host { host, .. } => {
+                        prop_assert_eq!(t.host_switch(host), s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// BFS tree: levels differ by one along tree edges; every non-root has
+    /// a parent at the previous level; level bounds the true distance.
+    #[test]
+    fn spanning_tree_invariants(n in 2usize..20, seed in any::<u64>(), root_pick in any::<u32>()) {
+        let t = gen::irregular_random(n, 3, 1, seed).unwrap();
+        let root = SwitchId(root_pick % n as u32);
+        let tree = SpanningTree::bfs(&t, root);
+        let dm = DistanceMatrix::compute(&t);
+        prop_assert_eq!(tree.level(root), 0);
+        for s in t.switches() {
+            // BFS level == true shortest distance from the root.
+            prop_assert_eq!(tree.level(s), dm.get(root, s) as u32);
+            if s != root {
+                let p = tree.parent(s).unwrap();
+                prop_assert_eq!(tree.level(p) + 1, tree.level(s));
+                prop_assert!(t.port_to(s, p).is_some());
+            } else {
+                prop_assert!(tree.parent(s).is_none());
+            }
+        }
+        prop_assert!(tree.depth() <= dm.diameter() as u32);
+    }
+
+    /// Distance matrix: symmetry, triangle inequality, adjacency = 1.
+    #[test]
+    fn distance_matrix_is_a_metric(n in 2usize..16, seed in any::<u64>()) {
+        let t = gen::irregular_random(n, 3, 1, seed).unwrap();
+        let dm = DistanceMatrix::compute(&t);
+        for a in t.switches() {
+            prop_assert_eq!(dm.get(a, a), 0);
+            for b in t.switches() {
+                prop_assert_eq!(dm.get(a, b), dm.get(b, a));
+                for c in t.switches() {
+                    prop_assert!(dm.get(a, c) <= dm.get(a, b) + dm.get(b, c));
+                }
+            }
+            for (_, b, _) in t.switch_neighbors(a) {
+                prop_assert_eq!(dm.get(a, b), 1);
+            }
+        }
+    }
+
+    /// Orientation: antisymmetric on every adjacent pair; the root is
+    /// "up" from all its neighbours.
+    #[test]
+    fn orientation_antisymmetry(n in 2usize..20, seed in any::<u64>()) {
+        let t = gen::irregular_random(n, 3, 1, seed).unwrap();
+        let o = Orientation::compute(&t, SwitchId(0));
+        for a in t.switches() {
+            for (_, b, _) in t.switch_neighbors(a) {
+                prop_assert_ne!(o.is_up_move(a, b), o.is_up_move(b, a));
+                prop_assert_eq!(o.up_end(a, b), o.up_end(b, a));
+            }
+        }
+        for (_, nb, _) in t.switch_neighbors(SwitchId(0)) {
+            prop_assert!(o.is_up_move(nb, SwitchId(0)));
+        }
+    }
+
+    /// Tori of any size: switch count, degree and host budget hold.
+    #[test]
+    fn torus_shape(rows in 2usize..7, cols in 2usize..7, hosts in 1usize..4) {
+        let t = gen::torus_2d(rows, cols, hosts).unwrap();
+        prop_assert_eq!(t.num_switches(), rows * cols);
+        prop_assert_eq!(t.num_switch_links(), rows * cols * 2);
+        prop_assert_eq!(t.num_hosts(), rows * cols * hosts);
+        let dm = DistanceMatrix::compute(&t);
+        prop_assert_eq!(dm.diameter() as usize, rows / 2 + cols / 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Closed-loop collective communication workloads: fixed message sets
+//! whose *completion time* (makespan) is the metric, as opposed to the
+//! open-loop rate-driven patterns of [`crate::PatternSpec`]. These model
+//! the communication phases of the parallel numerical algorithms the paper
+//! cites as motivation for the bit-reversal pattern.
+
+use rand::Rng;
+
+use regnet_topology::{DistanceMatrix, HostId, Topology};
+
+/// One collective phase: `(source, destination)` message pairs, all
+/// logically issued at the same time.
+pub type MessageSet = Vec<(HostId, HostId)>;
+
+/// Every host sends one message to every other host (all-to-all personal
+/// exchange). n·(n−1) messages — use small networks.
+pub fn all_to_all(topo: &Topology) -> MessageSet {
+    let mut out = Vec::with_capacity(topo.num_hosts() * (topo.num_hosts() - 1));
+    for s in topo.hosts() {
+        for d in topo.hosts() {
+            if s != d {
+                out.push((s, d));
+            }
+        }
+    }
+    out
+}
+
+/// The bit-reversal permutation as a single closed phase (fixed points
+/// skipped). Requires a power-of-two host count.
+pub fn bit_reversal_phase(topo: &Topology) -> Result<MessageSet, String> {
+    let n = topo.num_hosts() as u32;
+    if !n.is_power_of_two() {
+        return Err(format!("bit reversal needs 2^k hosts, got {n}"));
+    }
+    let bits = n.trailing_zeros();
+    Ok((0..n)
+        .filter_map(|s| {
+            let d = s.reverse_bits() >> (32 - bits);
+            (d != s).then_some((HostId(s), HostId(d)))
+        })
+        .collect())
+}
+
+/// Cyclic shift: host `i` sends to host `(i + k) mod n`.
+pub fn shift(topo: &Topology, k: usize) -> MessageSet {
+    let n = topo.num_hosts();
+    assert!(
+        !k.is_multiple_of(n),
+        "shift by a multiple of n is a self-send"
+    );
+    (0..n)
+        .map(|i| (HostId(i as u32), HostId(((i + k) % n) as u32)))
+        .collect()
+}
+
+/// Nearest-neighbour exchange: every host messages one random host on each
+/// switch at distance exactly 1 (stencil-like halo exchange).
+pub fn neighbor_exchange(topo: &Topology, rng: &mut impl Rng) -> MessageSet {
+    let dm = DistanceMatrix::compute(topo);
+    let mut out = Vec::new();
+    for src in topo.hosts() {
+        let my_switch = topo.host_switch(src);
+        for t in topo.switches() {
+            if dm.get(my_switch, t) == 1 {
+                let hosts = topo.hosts_of(t);
+                if !hosts.is_empty() {
+                    out.push((src, hosts[rng.gen_range(0..hosts.len())]));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One-to-all broadcast (as n−1 unicasts, the way source-routed Myrinet
+/// does it in software).
+pub fn broadcast(topo: &Topology, root: HostId) -> MessageSet {
+    topo.hosts()
+        .filter(|&d| d != root)
+        .map(|d| (root, d))
+        .collect()
+}
+
+/// All-to-one gather.
+pub fn gather(topo: &Topology, root: HostId) -> MessageSet {
+    topo.hosts()
+        .filter(|&s| s != root)
+        .map(|s| (s, root))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use regnet_topology::gen;
+
+    fn topo() -> Topology {
+        gen::torus_2d(4, 4, 2).unwrap()
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let t = topo();
+        let m = all_to_all(&t);
+        assert_eq!(m.len(), 32 * 31);
+        assert!(m.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn bit_reversal_phase_is_permutation() {
+        let t = topo(); // 32 hosts, 5 bits -> palindromes silent
+        let m = bit_reversal_phase(&t).unwrap();
+        // 5-bit palindromes: 2^3 = 8 fixed points.
+        assert_eq!(m.len(), 32 - 8);
+        let mut dsts: Vec<u32> = m.iter().map(|&(_, d)| d.0).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), m.len());
+        assert!(bit_reversal_phase(&gen::cplant().unwrap()).is_err());
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let t = topo();
+        let m = shift(&t, 5);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m[30], (HostId(30), HostId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn shift_rejects_identity() {
+        shift(&topo(), 32);
+    }
+
+    #[test]
+    fn neighbor_exchange_targets_distance_one() {
+        let t = topo();
+        let dm = DistanceMatrix::compute(&t);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = neighbor_exchange(&t, &mut rng);
+        // 4 neighbours per switch in a torus.
+        assert_eq!(m.len(), 32 * 4);
+        for (s, d) in m {
+            assert_eq!(dm.get(t.host_switch(s), t.host_switch(d)), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_gather() {
+        let t = topo();
+        let b = broadcast(&t, HostId(7));
+        assert_eq!(b.len(), 31);
+        assert!(b.iter().all(|&(s, d)| s == HostId(7) && d != HostId(7)));
+        let g = gather(&t, HostId(7));
+        assert_eq!(g.len(), 31);
+        assert!(g.iter().all(|&(s, d)| d == HostId(7) && s != HostId(7)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic traffic patterns and offered-load bookkeeping.
+//!
+//! Implements the four destination distributions of the paper's evaluation
+//! (uniform, bit-reversal, hotspot, local) plus two classical extras
+//! (transpose, complement), and the unit conversions between the paper's
+//! load metric (flits/ns/switch) and the simulator's per-host message
+//! interarrival times.
+
+pub mod collectives;
+mod load;
+mod pattern;
+
+pub use load::{accepted_flits_per_ns_per_switch, interarrival_cycles, OfferedLoad};
+pub use pattern::{random_hotspots, Pattern, PatternSpec};

@@ -1,0 +1,59 @@
+//! Collective phases, closed-loop: instead of an open-loop rate, inject a
+//! fixed communication phase — broadcast, shift, halo exchange, bit
+//! reversal, all-to-all — and measure its completion time under each
+//! routing scheme.
+//!
+//! Run with: `cargo run --release --example collectives`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use regnet::netsim::collective::run_collective;
+use regnet::prelude::*;
+use regnet::traffic::collectives;
+
+fn main() {
+    let topo = gen::torus_2d(8, 8, 1).unwrap();
+    let cfg = SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(4);
+
+    let phases: Vec<(&str, Vec<(HostId, HostId)>)> = vec![
+        (
+            "broadcast from h0",
+            collectives::broadcast(&topo, HostId(0)),
+        ),
+        ("gather to h0", collectives::gather(&topo, HostId(0))),
+        ("shift by 8", collectives::shift(&topo, 8)),
+        (
+            "bit-reversal phase",
+            collectives::bit_reversal_phase(&topo).unwrap(),
+        ),
+        (
+            "halo exchange",
+            collectives::neighbor_exchange(&topo, &mut rng),
+        ),
+        ("all-to-all", collectives::all_to_all(&topo)),
+    ];
+
+    println!("collective phase completion time (µs) — 8x8 torus, 64-byte messages\n");
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>11}",
+        "phase", "messages", "UP/DOWN", "ITB-SP", "ITB-RR"
+    );
+    for (name, msgs) in &phases {
+        print!("{name:<22} {:>9}", msgs.len());
+        for scheme in RoutingScheme::all() {
+            let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+            let s =
+                run_collective(&topo, &db, cfg.clone(), msgs, 100_000_000, 1).expect("collective");
+            print!(" {:>10.1}", s.makespan_ns / 1000.0);
+        }
+        println!();
+    }
+    println!("\nphases dominated by a single link (broadcast, gather, shift) are");
+    println!("routing-insensitive; congestion-dominated phases (all-to-all, bit");
+    println!("reversal) finish markedly faster with in-transit buffers.");
+}

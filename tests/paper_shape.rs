@@ -1,0 +1,190 @@
+//! Integration tests asserting the *shape* of the paper's headline results
+//! at reduced scale (shorter messages and windows so the suite stays
+//! fast). The full-scale numbers live in EXPERIMENTS.md and are produced
+//! by the `regnet-bench` binaries.
+
+use regnet::prelude::*;
+
+fn cfg64() -> SimConfig {
+    SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    }
+}
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        warmup_cycles: 15_000,
+        measure_cycles: 50_000,
+        seed,
+    }
+}
+
+fn throughput(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec) -> f64 {
+    let exp = Experiment::new(topo, scheme, RouteDbConfig::default(), pattern, cfg64()).unwrap();
+    exp.find_throughput(
+        &ThroughputSearch {
+            start: 0.004,
+            growth: 1.45,
+            saturated_points: 2,
+            ratio: 0.92,
+            max_points: 14,
+        },
+        &opts(17),
+    )
+}
+
+/// Figure 7a's shape: on a 2-D torus under uniform traffic, the ITB
+/// schemes clearly outperform UP/DOWN (the paper reports a factor ~2 at
+/// full scale).
+#[test]
+fn torus_uniform_itb_beats_updown() {
+    let t_ud = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        PatternSpec::Uniform,
+    );
+    let t_rr = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::Uniform,
+    );
+    assert!(
+        t_rr > t_ud * 1.5,
+        "ITB-RR {t_rr:.4} should beat UP/DOWN {t_ud:.4} by >1.5x"
+    );
+}
+
+/// Figure 7b's shape: express channels lift UP/DOWN more than ITB (more
+/// alternative paths to the root), so the ITB gain narrows — but ITB
+/// still wins.
+#[test]
+fn express_narrows_but_keeps_itb_gain() {
+    let plain_ud = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        PatternSpec::Uniform,
+    );
+    let exp_ud = throughput(
+        gen::torus_2d_express(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        PatternSpec::Uniform,
+    );
+    let exp_rr = throughput(
+        gen::torus_2d_express(8, 8, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::Uniform,
+    );
+    // Express channels help UP/DOWN a lot (paper: x4.6 at full scale).
+    assert!(
+        exp_ud > plain_ud * 2.0,
+        "express UP/DOWN {exp_ud:.4} should be >2x plain {plain_ud:.4}"
+    );
+    // ITB still ahead, but by less than on the plain torus.
+    assert!(
+        exp_rr > exp_ud,
+        "ITB-RR {exp_rr:.4} should still beat UP/DOWN {exp_ud:.4} with express channels"
+    );
+}
+
+/// Figure 12's shape: under local traffic the ITB advantage (mostly)
+/// evaporates, and ITB never hurts.
+#[test]
+fn local_traffic_gains_are_small() {
+    let pattern = PatternSpec::Local { max_switch_dist: 3 };
+    let t_ud = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        pattern,
+    );
+    let t_rr = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        pattern,
+    );
+    assert!(
+        t_rr > t_ud * 0.9,
+        "ITB-RR {t_rr:.4} must not lose to UP/DOWN {t_ud:.4} under local traffic"
+    );
+    // And local traffic saturates far above uniform traffic for UP/DOWN.
+    let t_ud_uniform = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        PatternSpec::Uniform,
+    );
+    assert!(
+        t_ud > t_ud_uniform * 2.0,
+        "local UP/DOWN {t_ud:.4} should be far above uniform {t_ud_uniform:.4}"
+    );
+}
+
+/// Table 1's shape: a 10% hotspot drags everyone down and compresses the
+/// ITB advantage relative to uniform traffic.
+#[test]
+fn hotspot_compresses_itb_gain() {
+    let hotspot = PatternSpec::Hotspot {
+        fraction: 0.10,
+        host: HostId(77),
+    };
+    let hs_ud = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        hotspot,
+    );
+    let hs_rr = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        hotspot,
+    );
+    let un_ud = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::UpDown,
+        PatternSpec::Uniform,
+    );
+    let un_rr = throughput(
+        gen::torus_2d(8, 8, 2).unwrap(),
+        RoutingScheme::ItbRr,
+        PatternSpec::Uniform,
+    );
+    // ITB still >= UP/DOWN under the hotspot...
+    assert!(
+        hs_rr >= hs_ud * 0.95,
+        "hotspot: RR {hs_rr:.4} vs UD {hs_ud:.4}"
+    );
+    // ...but the gain factor shrinks versus uniform traffic.
+    let gain_uniform = un_rr / un_ud;
+    let gain_hotspot = hs_rr / hs_ud.max(1e-9);
+    assert!(
+        gain_hotspot < gain_uniform,
+        "hotspot gain {gain_hotspot:.2} should be below uniform gain {gain_uniform:.2}"
+    );
+}
+
+/// Section 4.7.1: latency ordering near zero load — ITB journeys pay a
+/// small latency premium for their in-transit hops.
+#[test]
+fn itb_pays_small_zero_load_latency_premium() {
+    let mk = |scheme| {
+        Experiment::new(
+            gen::torus_2d(8, 8, 2).unwrap(),
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg64(),
+        )
+        .unwrap()
+        .run_point(0.002, &opts(3))
+    };
+    let ud = mk(RoutingScheme::UpDown);
+    let rr = mk(RoutingScheme::ItbRr);
+    assert!(ud.avg_latency_ns > 0.0 && rr.avg_latency_ns > 0.0);
+    // The premium exists but is bounded (paper: a few hundred ns on ~5 µs).
+    assert!(
+        rr.avg_latency_ns < ud.avg_latency_ns * 1.5,
+        "ITB zero-load latency {:.0} vs UP/DOWN {:.0}",
+        rr.avg_latency_ns,
+        ud.avg_latency_ns
+    );
+    assert!(rr.avg_itbs_per_msg > 0.1, "expected in-transit hops in use");
+    assert_eq!(ud.avg_itbs_per_msg, 0.0);
+}

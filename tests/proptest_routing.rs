@@ -1,0 +1,145 @@
+//! Property-based tests over random topologies: the routing invariants
+//! that make the ITB mechanism deadlock-free must hold on *any* connected
+//! network, not just the paper's three.
+
+use proptest::prelude::*;
+
+use regnet::core::{split_minimal_path, ItbHostPicker, RouteDb, RouteDbConfig, RoutingScheme};
+use regnet::prelude::*;
+use regnet::routing::minimal;
+
+/// Strategy: a random connected irregular topology.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (4usize..20, 2usize..5, 1usize..4, any::<u64>()).prop_map(|(n, deg, hosts, seed)| {
+        gen::irregular_random(n, deg, hosts, seed).expect("irregular generator")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The up-direction graph of any orientation is acyclic — the property
+    /// that makes up*/down* deadlock-free.
+    #[test]
+    fn orientation_up_graph_is_acyclic(topo in arb_topology(), root_pick in any::<u32>()) {
+        let root = SwitchId(root_pick % topo.num_switches() as u32);
+        let orient = Orientation::compute(&topo, root);
+        // Kahn's algorithm over "down end -> up end" edges.
+        let n = topo.num_switches();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for link in topo.links() {
+            if let Some((a, b)) = link.switch_ends() {
+                let up = orient.up_end(a, b);
+                let down = if up == a { b } else { a };
+                adj[down.idx()].push(up.idx());
+                indeg[up.idx()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut removed = 0;
+        while let Some(u) = queue.pop() {
+            removed += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        prop_assert_eq!(removed, n);
+    }
+
+    /// Every pair is reachable by a legal up*/down* path, and the legal
+    /// distance is sandwiched between the graph distance and the
+    /// through-the-root tree distance.
+    #[test]
+    fn legal_distances_are_sound(topo in arb_topology()) {
+        let orient = Orientation::compute(&topo, SwitchId(0));
+        let dm = DistanceMatrix::compute(&topo);
+        for d in topo.switches() {
+            let legal = LegalDistances::to_dest(&topo, &orient, d);
+            for s in topo.switches() {
+                let l = legal.from(s);
+                prop_assert!(l != u16::MAX, "{} cannot reach {} legally", s, d);
+                prop_assert!(l >= dm.get(s, d));
+                prop_assert!(l as u32 <= orient.level(s) + orient.level(d));
+            }
+        }
+    }
+
+    /// Splitting any minimal path yields segments that are each legal
+    /// up*/down* paths, preserve total length, and put every in-transit
+    /// host on the right switch.
+    #[test]
+    fn split_segments_are_legal_and_minimal(topo in arb_topology(), seed in any::<u64>()) {
+        let orient = Orientation::compute(&topo, SwitchId(0));
+        let dm = DistanceMatrix::compute(&topo);
+        let n = topo.num_switches() as u32;
+        let src = SwitchId(seed as u32 % n);
+        let dst = SwitchId((seed >> 16) as u32 % n);
+        for path in minimal::k_minimal_paths(&topo, &dm, src, dst, 5, seed) {
+            let t = split_minimal_path(&topo, &orient, &path, ItbHostPicker::Spread);
+            prop_assert_eq!(t.total_links(), dm.get(src, dst) as usize);
+            for seg in &t.segments {
+                let p = SwitchPath::new(seg.switches.clone());
+                prop_assert!(p.is_legal(&orient), "illegal segment {}", p);
+                prop_assert!(p.is_connected(&topo));
+                if let SegmentEnd::Itb(h) = seg.end {
+                    prop_assert_eq!(topo.host_switch(h), p.dst());
+                }
+            }
+        }
+    }
+
+    /// Route databases materialise valid journeys for every host pair on
+    /// any topology, under every scheme.
+    #[test]
+    fn route_db_materialises_valid_journeys(topo in arb_topology(), scheme_pick in 0u8..3) {
+        let scheme = RoutingScheme::all()[scheme_pick as usize];
+        let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+        let mut sel = db.selector();
+        let hosts: Vec<HostId> = topo.hosts().collect();
+        // Sample pairs rather than the full quadratic set.
+        for (i, &src) in hosts.iter().enumerate() {
+            let dst = hosts[(i * 7 + 3) % hosts.len()];
+            if src == dst {
+                continue;
+            }
+            let j = db.select(&topo, src, dst, &mut sel);
+            prop_assert!(j.validate().is_ok(), "{:?}", j.validate());
+            prop_assert_eq!(j.src, src);
+            prop_assert_eq!(j.dst, dst);
+            // The final port byte must address the destination host.
+            let last_seg = j.segments.last().unwrap();
+            prop_assert_eq!(*last_seg.ports.last().unwrap(), topo.host_port(dst));
+            // Journey switches must chain across segments.
+            for w in j.segments.windows(2) {
+                prop_assert_eq!(
+                    *w[0].switches.last().unwrap(),
+                    w[1].switches[0],
+                    "segments must hand over at the same switch"
+                );
+            }
+        }
+    }
+
+    /// up*/down* routes never need in-transit buffers; ITB routes are
+    /// always graph-minimal.
+    #[test]
+    fn scheme_level_invariants(topo in arb_topology()) {
+        let dm = DistanceMatrix::compute(&topo);
+        let ud = RouteDb::build(&topo, RoutingScheme::UpDown, &RouteDbConfig::default());
+        for (_, _, alts) in ud.iter_pairs() {
+            for t in alts {
+                prop_assert_eq!(t.num_itbs(), 0);
+            }
+        }
+        let rr = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        for (s, d, alts) in rr.iter_pairs() {
+            for t in alts {
+                prop_assert_eq!(t.total_links(), dm.get(s, d) as usize);
+            }
+        }
+    }
+}
