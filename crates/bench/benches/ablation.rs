@@ -18,6 +18,7 @@ fn opts() -> RunOptions {
         warmup_cycles: 3_000,
         measure_cycles: 12_000,
         seed: 2,
+        ..RunOptions::default()
     }
 }
 

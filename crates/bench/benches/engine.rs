@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{SimConfig, Simulator};
+use regnet_netsim::{SimConfig, Simulator, TraceOptions};
 use regnet_routing::{minimal, LegalDistances};
 use regnet_topology::{gen, DistanceMatrix, Orientation, SwitchId};
 use regnet_traffic::{Pattern, PatternSpec};
@@ -18,7 +18,14 @@ fn sim_cycles(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     const CYCLES: u64 = 10_000;
     group.throughput(Throughput::Elements(CYCLES));
-    for (name, offered) in [("idle", 1e-6), ("loaded", 0.012)] {
+    // `loaded_traced` is `loaded` with every observer on: the gap between
+    // the two is the telemetry overhead (disabled runs pay one branch per
+    // hook and must stay within noise of `loaded`).
+    for (name, offered, traced) in [
+        ("idle", 1e-6, false),
+        ("loaded", 0.012, false),
+        ("loaded_traced", 0.012, true),
+    ] {
         let topo = gen::torus_2d(4, 4, 4).unwrap();
         let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
         let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
@@ -36,6 +43,9 @@ fn sim_cycles(c: &mut Criterion) {
                         offered,
                         3,
                     );
+                    if traced {
+                        sim.enable_trace(TraceOptions::full(1_000));
+                    }
                     sim.run(2_000); // fill
                     sim
                 },

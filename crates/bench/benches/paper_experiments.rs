@@ -28,6 +28,7 @@ fn quick_opts() -> RunOptions {
         warmup_cycles: 3_000,
         measure_cycles: 12_000,
         seed: 1,
+        ..RunOptions::default()
     }
 }
 

@@ -1,5 +1,6 @@
-//! Development diagnostic: run the paper torus under ITB-SP at low load and
-//! dump where live packets are parked.
+//! Development diagnostic: run the paper torus under ITB-SP at low load,
+//! dump where live packets are parked and classify any suspected stall via
+//! the wait-for-graph analyzer (deadlock cycle vs starvation vs active).
 
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
 use regnet_netsim::{SimConfig, Simulator};
@@ -13,4 +14,5 @@ fn main() {
     let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), 0.001, 1);
     sim.run(200_000);
     println!("{}", sim.dump_state());
+    println!("{}", sim.analyze_stall().summary);
 }

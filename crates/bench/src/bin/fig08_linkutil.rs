@@ -6,12 +6,15 @@
 //! Usage: `fig08_linkutil [--full]`
 
 use regnet_bench::experiments::{fig08, switch_grid_map};
-use regnet_bench::Mode;
+use regnet_bench::{save_time_series, Mode};
 
 fn main() {
     let report = fig08(Mode::from_args());
     print!("{}", report.render());
-    for snap in &report.snapshots {
+    for (i, snap) in report.snapshots.iter().enumerate() {
         println!("\n{}", switch_grid_map(snap, 8, 64));
+        if let Some(ts) = &snap.util_series {
+            save_time_series(&format!("fig08_util_{i}"), ts);
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! Usage: `fig09_linkutil_express [--full]`
 
 use regnet_bench::experiments::{fig09, switch_grid_map};
-use regnet_bench::Mode;
+use regnet_bench::{save_time_series, Mode};
 use regnet_topology::{NodeId, SwitchId};
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
     print!("{}", report.render());
     // Split utilization by channel class: express channels connect switches
     // two hops apart in a torus dimension.
-    for snap in &report.snapshots {
+    for (i, snap) in report.snapshots.iter().enumerate() {
         let (mut ex, mut nex) = (Vec::new(), Vec::new());
         for (d, &u) in snap.descs.iter().zip(&snap.summary.per_channel) {
             if let (NodeId::Switch(SwitchId(a)), NodeId::Switch(SwitchId(b))) = (d.from, d.to) {
@@ -37,5 +37,8 @@ fn main() {
             mean(&nex) * 100.0
         );
         println!("{}", switch_grid_map(snap, 8, 64));
+        if let Some(ts) = &snap.util_series {
+            save_time_series(&format!("fig09_util_{i}"), ts);
+        }
     }
 }

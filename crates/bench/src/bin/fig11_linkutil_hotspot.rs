@@ -6,13 +6,16 @@
 //! Usage: `fig11_linkutil_hotspot [--full]`
 
 use regnet_bench::experiments::{fig11, switch_grid_map};
-use regnet_bench::Mode;
+use regnet_bench::{save_time_series, Mode};
 
 fn main() {
     let report = fig11(Mode::from_args());
     print!("{}", report.render());
-    for snap in &report.snapshots {
+    for (i, snap) in report.snapshots.iter().enumerate() {
         println!("\n{}", switch_grid_map(snap, 8, 64));
+        if let Some(ts) = &snap.util_series {
+            save_time_series(&format!("fig11_util_{i}"), ts);
+        }
     }
     println!("(root switch is s0, top-left of the grid)");
 }

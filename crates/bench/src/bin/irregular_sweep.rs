@@ -19,6 +19,7 @@ fn main() {
         warmup_cycles: mode.run_options(0).warmup_cycles / 2,
         measure_cycles: mode.run_options(0).measure_cycles / 2,
         seed: 41,
+        ..RunOptions::default()
     };
     println!("irregular networks, uniform traffic, 512-byte messages, 4 hosts/switch\n");
     println!(

@@ -19,6 +19,7 @@ fn main() {
         warmup_cycles: mode.run_options(0).warmup_cycles / 2,
         measure_cycles: mode.run_options(0).measure_cycles / 2,
         seed: 31,
+        ..RunOptions::default()
     };
     println!("saturation throughput (flits/ns/switch), 2-D torus, uniform traffic\n");
     println!("msg bytes   UP/DOWN    ITB-SP    ITB-RR    ITB-RR/UD");

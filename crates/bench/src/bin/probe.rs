@@ -1,11 +1,13 @@
 //! Quick calibration probe: one point per scheme on the paper torus, timed.
 //! Not part of the paper reproduction; used to sanity-check performance and
-//! saturation behaviour while developing.
+//! saturation behaviour while developing. Runs with the lifetime/digest
+//! trace observers on and finishes each point with a wait-for-graph stall
+//! classification.
 
-use regnet_bench::{experiment, Topo};
-use regnet_core::RoutingScheme;
-use regnet_netsim::experiment::RunOptions;
-use regnet_traffic::PatternSpec;
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_netsim::{SimConfig, Simulator, TraceOptions};
+use regnet_topology::gen;
+use regnet_traffic::{Pattern, PatternSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -15,32 +17,58 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.015);
-    let opts = RunOptions {
-        warmup_cycles: 60_000,
-        measure_cycles: 150_000,
-        seed: 1,
-    };
+    let (warmup_cycles, measure_cycles) = (60_000u64, 150_000u64);
+    let topo = gen::torus_2d(8, 8, 8).expect("torus");
+    let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).expect("pattern");
     for scheme in [
         RoutingScheme::UpDown,
         RoutingScheme::ItbSp,
         RoutingScheme::ItbRr,
     ] {
         let t0 = std::time::Instant::now();
-        let exp = experiment(Topo::Torus.build(), scheme, PatternSpec::Uniform);
+        let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+        let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), offered, 1);
+        sim.enable_trace(TraceOptions {
+            packet_lifetimes: true,
+            digest: true,
+            ..TraceOptions::default()
+        });
         let build = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let p = exp.run_point(offered, &opts);
+        sim.run(warmup_cycles);
+        sim.begin_measurement();
+        sim.run(measure_cycles);
+        let stats = sim.end_measurement(measure_cycles);
         let run = t1.elapsed();
         println!(
             "{:8} offered {:.4} accepted {:.4} lat {:8.0} ns itbs {:.3} delivered {:6} [build {:?} run {:?}]",
             scheme.label(),
-            p.offered,
-            p.accepted,
-            p.avg_latency_ns,
-            p.avg_itbs_per_msg,
-            p.delivered,
+            offered,
+            stats.accepted_flits_per_ns_per_switch(topo.num_switches()),
+            stats.avg_latency_ns,
+            stats.avg_itbs_per_msg,
+            stats.delivered,
             build,
             run
+        );
+        if let Some(report) = sim.trace_report() {
+            if let Some(l) = &report.lifetime {
+                println!(
+                    "         lifetime p50 {} p99 {} max {} cycles over {} packets",
+                    l.p50_cycles, l.p99_cycles, l.max_cycles, l.count
+                );
+            }
+            if let Some(d) = report.digest {
+                println!(
+                    "         trace digest {d:016x} ({} delivery events)",
+                    report.digest_events
+                );
+            }
+        }
+        let stall = sim.analyze_stall();
+        println!(
+            "         stall check: {}",
+            stall.summary.lines().next().unwrap_or("")
         );
     }
 }

@@ -6,8 +6,9 @@
 
 use rand::SeedableRng;
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_metrics::{Curve, UtilizationSummary};
+use regnet_metrics::{Curve, TimeSeries, UtilizationSummary};
 use regnet_netsim::experiment::RunOptions;
+use regnet_netsim::trace::ChannelUtilSeries;
 use regnet_netsim::ChannelDesc;
 use regnet_topology::{HostId, NodeId, SwitchId};
 use regnet_traffic::{random_hotspots, PatternSpec};
@@ -89,6 +90,9 @@ pub struct UtilSnapshot {
     pub offered: f64,
     pub summary: UtilizationSummary,
     pub descs: Vec<ChannelDesc>,
+    /// Per-link utilization over time (fractions per sampling interval),
+    /// recorded by the `channel_util_interval` trace observer.
+    pub util_series: Option<TimeSeries>,
 }
 
 #[derive(Debug, Serialize)]
@@ -209,6 +213,37 @@ pub fn fig12_radius4(topo: Topo, mode: Mode) -> FigureResult {
     )
 }
 
+/// Sampling interval (cycles) for the utilization time series of the
+/// figure-8/9/11 runs.
+fn util_trace_interval(mode: Mode) -> u64 {
+    match mode {
+        Mode::Quick => 5_000,
+        Mode::Full => 20_000,
+    }
+}
+
+fn desc_label(d: &ChannelDesc) -> String {
+    let node = |n: &NodeId| match n {
+        NodeId::Switch(s) => s.to_string(),
+        NodeId::Host(h) => h.to_string(),
+    };
+    format!("{}->{}", node(&d.from), node(&d.to))
+}
+
+/// Convert raw busy-cycle buckets from the trace observer into a
+/// utilization-fraction [`TimeSeries`], one named series per channel.
+fn util_time_series(label: &str, descs: &[ChannelDesc], s: &ChannelUtilSeries) -> TimeSeries {
+    let mut ts = TimeSeries::new(label, s.interval);
+    for (d, row) in descs.iter().zip(&s.busy) {
+        let values = row
+            .iter()
+            .map(|&b| f64::from(b) / s.interval as f64)
+            .collect();
+        ts.push(desc_label(d), values);
+    }
+    ts
+}
+
 fn util_snapshot(
     topo: Topo,
     scheme: RoutingScheme,
@@ -217,12 +252,17 @@ fn util_snapshot(
     mode: Mode,
 ) -> UtilSnapshot {
     let exp = experiment(topo.build(), scheme, pattern);
-    let (summary, descs) = exp.link_utilization(offered, &mode.run_options(8));
+    let mut opts = mode.run_options(8);
+    opts.trace.channel_util_interval = Some(util_trace_interval(mode));
+    let (summary, descs, series) = exp.link_utilization_traced(offered, &opts);
+    let label = format!("{} {}", scheme.label(), pattern.label());
+    let util_series = series.map(|s| util_time_series(&format!("{label} @ {offered}"), &descs, &s));
     UtilSnapshot {
-        label: format!("{} {}", scheme.label(), pattern.label()),
+        label,
         offered,
         summary,
         descs,
+        util_series,
     }
 }
 
@@ -329,6 +369,7 @@ fn hotspot_table(
         warmup_cycles: mode.run_options(0).warmup_cycles / 2,
         measure_cycles: mode.run_options(0).measure_cycles / 2,
         seed: 21,
+        ..RunOptions::default()
     };
     let mut rows = Vec::new();
     for (i, &hs) in hotspots.iter().enumerate() {
@@ -517,6 +558,7 @@ mod tests {
                     switch_link: false,
                 },
             ],
+            util_series: None,
         };
         let report = UtilReport {
             name: "Figure X".into(),

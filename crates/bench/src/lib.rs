@@ -85,11 +85,13 @@ impl Mode {
                 warmup_cycles: 60_000,
                 measure_cycles: 150_000,
                 seed,
+                ..RunOptions::default()
             },
             Mode::Full => RunOptions {
                 warmup_cycles: 200_000,
                 measure_cycles: 500_000,
                 seed,
+                ..RunOptions::default()
             },
         }
     }
@@ -153,6 +155,16 @@ pub fn save_curves(name: &str, curves: &[Curve]) {
     match regnet_metrics::export::write_figure(dir, name, name, curves) {
         Ok(script) => println!("[saved {} + data]", script.display()),
         Err(e) => eprintln!("could not export plot files for {name}: {e}"),
+    }
+}
+
+/// Write a telemetry time series (e.g. per-link utilization over time) to
+/// `target/experiments/<name>.{json,dat,gp}`; prints the path.
+pub fn save_time_series(name: &str, ts: &regnet_metrics::TimeSeries) {
+    let dir = Path::new("target/experiments");
+    match regnet_metrics::export::write_time_series(dir, name, ts) {
+        Ok(json) => println!("[saved {} + data]", json.display()),
+        Err(e) => eprintln!("could not export time series {name}: {e}"),
     }
 }
 

@@ -213,6 +213,38 @@ impl RouteDb {
         }
     }
 
+    /// Build a database directly from per-switch-pair templates, bypassing
+    /// route computation. `templates` is indexed `src.idx() * n_switches +
+    /// dst.idx()` and every pair must have at least one alternative.
+    ///
+    /// This deliberately performs **no legality checking**: tests use it to
+    /// inject route sets with cyclic channel dependencies and verify that
+    /// the simulator's wait-for-graph analyzer detects the resulting
+    /// deadlock. Don't use it for real routing tables — `build` is the
+    /// checked path.
+    pub fn from_templates(
+        scheme: RoutingScheme,
+        n_switches: usize,
+        n_hosts: usize,
+        templates: Vec<Vec<JourneyTemplate>>,
+    ) -> RouteDb {
+        assert_eq!(
+            templates.len(),
+            n_switches * n_switches,
+            "one template list per ordered switch pair"
+        );
+        assert!(
+            templates.iter().all(|alts| !alts.is_empty()),
+            "every pair needs at least one alternative"
+        );
+        RouteDb {
+            scheme,
+            n_switches,
+            n_hosts,
+            templates,
+        }
+    }
+
     /// The scheme this database implements.
     pub fn scheme(&self) -> RoutingScheme {
         self.scheme

@@ -81,7 +81,10 @@ fn alternative_cap_respected_and_reached() {
         assert!(alts.len() <= 10);
         max_seen = max_seen.max(alts.len());
     }
-    assert_eq!(max_seen, 10, "some pair should use the full 10 alternatives");
+    assert_eq!(
+        max_seen, 10,
+        "some pair should use the full 10 alternatives"
+    );
 }
 
 /// Moving the spanning-tree root changes which minimal paths are forbidden

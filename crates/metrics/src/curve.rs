@@ -85,6 +85,51 @@ impl Curve {
     }
 }
 
+/// One named series of a [`TimeSeries`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedSeries {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+/// A set of equally-sampled time series sharing one clock: sample `i` of
+/// every series covers cycles `[i*interval_cycles, (i+1)*interval_cycles)`.
+/// Produced from simulator telemetry (e.g. per-link utilization over time)
+/// and exported by [`export::write_time_series`](crate::export::write_time_series).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    pub label: String,
+    /// Sampling interval, cycles.
+    pub interval_cycles: u64,
+    pub series: Vec<NamedSeries>,
+}
+
+impl TimeSeries {
+    pub fn new(label: impl Into<String>, interval_cycles: u64) -> TimeSeries {
+        TimeSeries {
+            label: label.into(),
+            interval_cycles,
+            series: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        self.series.push(NamedSeries {
+            name: name.into(),
+            values,
+        });
+    }
+
+    /// Length of the longest series (number of samples).
+    pub fn samples(&self) -> usize {
+        self.series
+            .iter()
+            .map(|s| s.values.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,6 @@ pub mod export;
 mod stats;
 mod util;
 
-pub use curve::{Curve, CurvePoint};
+pub use curve::{Curve, CurvePoint, NamedSeries, TimeSeries};
 pub use stats::{Histogram, RunningStats};
 pub use util::UtilizationSummary;

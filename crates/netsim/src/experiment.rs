@@ -9,6 +9,7 @@ use regnet_traffic::{Pattern, PatternSpec};
 
 use crate::config::SimConfig;
 use crate::sim::{ChannelDesc, RunStats, Simulator};
+use crate::trace::{ChannelUtilSeries, TraceOptions, TraceReport};
 
 /// Per-run options.
 #[derive(Debug, Clone)]
@@ -20,6 +21,10 @@ pub struct RunOptions {
     pub measure_cycles: u64,
     /// RNG seed (generation phases, destination draws, path sampling).
     pub seed: u64,
+    /// Telemetry observers to enable for the run (default: all off, which
+    /// costs nothing). Results come back through
+    /// [`Experiment::run_traced`].
+    pub trace: TraceOptions,
 }
 
 impl Default for RunOptions {
@@ -28,6 +33,7 @@ impl Default for RunOptions {
             warmup_cycles: 100_000,
             measure_cycles: 300_000,
             seed: 1,
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -110,6 +116,15 @@ impl Experiment {
     /// Run the raw simulation at one offered load and return the full
     /// [`RunStats`] (latency, ITB counters, per-channel utilization).
     pub fn run_stats(&self, offered: f64, opts: &RunOptions) -> RunStats {
+        self.run_traced(offered, opts).0
+    }
+
+    /// Like [`run_stats`](Experiment::run_stats), but also returns the
+    /// [`TraceReport`] collected by the observers selected in
+    /// `opts.trace` (`None` when they are all off). Observers are enabled
+    /// before warmup, so the trace digest covers the entire run — exactly
+    /// what the determinism regression suite compares.
+    pub fn run_traced(&self, offered: f64, opts: &RunOptions) -> (RunStats, Option<TraceReport>) {
         let mut sim = Simulator::new(
             &self.topo,
             &self.db,
@@ -118,10 +133,13 @@ impl Experiment {
             offered,
             opts.seed,
         );
+        sim.enable_trace(opts.trace.clone());
         sim.run(opts.warmup_cycles);
         sim.begin_measurement();
         sim.run(opts.measure_cycles);
-        sim.end_measurement(opts.measure_cycles)
+        let stats = sim.end_measurement(opts.measure_cycles);
+        let report = sim.trace_report();
+        (stats, report)
     }
 
     /// Run one offered-load point and summarise it as a [`CurvePoint`].
@@ -244,6 +262,59 @@ impl Experiment {
             kept,
         )
     }
+
+    /// [`link_utilization`](Experiment::link_utilization) plus the
+    /// per-channel utilization *time series* recorded by the
+    /// `channel_util_interval` observer (rows filtered to switch↔switch
+    /// channels, parallel to the returned descriptors). The series is
+    /// `None` when `opts.trace.channel_util_interval` is unset.
+    pub fn link_utilization_traced(
+        &self,
+        offered: f64,
+        opts: &RunOptions,
+    ) -> (
+        UtilizationSummary,
+        Vec<ChannelDesc>,
+        Option<ChannelUtilSeries>,
+    ) {
+        let mut sim = Simulator::new(
+            &self.topo,
+            &self.db,
+            &self.pattern,
+            self.cfg.clone(),
+            offered,
+            opts.seed,
+        );
+        let descs = sim.channel_descriptors();
+        sim.enable_trace(opts.trace.clone());
+        sim.run(opts.warmup_cycles);
+        sim.begin_measurement();
+        sim.run(opts.measure_cycles);
+        let stats = sim.end_measurement(opts.measure_cycles);
+        let series = sim.trace_report().and_then(|r| r.channel_util);
+        let mut busy = Vec::new();
+        let mut kept = Vec::new();
+        let mut kept_rows = Vec::new();
+        for (i, (d, &b)) in descs.iter().zip(&stats.channel_busy).enumerate() {
+            if d.switch_link {
+                busy.push(b);
+                kept.push(*d);
+                if let Some(s) = &series {
+                    kept_rows.push(s.busy[i].clone());
+                }
+            }
+        }
+        let series = series.map(|s| ChannelUtilSeries {
+            interval: s.interval,
+            buckets: s.buckets,
+            busy: kept_rows,
+        });
+        (
+            UtilizationSummary::from_busy_cycles(&busy, opts.measure_cycles),
+            kept,
+            series,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +327,7 @@ mod tests {
             warmup_cycles: 5_000,
             measure_cycles: 40_000,
             seed: 3,
+            ..RunOptions::default()
         }
     }
 

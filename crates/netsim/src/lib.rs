@@ -46,7 +46,7 @@
 //! ).unwrap();
 //! let point = exp.run_point(
 //!     0.01,
-//!     &RunOptions { warmup_cycles: 5_000, measure_cycles: 20_000, seed: 1 },
+//!     &RunOptions { warmup_cycles: 5_000, measure_cycles: 20_000, seed: 1, ..RunOptions::default() },
 //! );
 //! assert!(point.delivered > 0);
 //! assert!(point.avg_latency_ns > 0.0);
@@ -60,6 +60,10 @@ mod nic;
 mod packet;
 mod sim;
 mod switch;
+pub mod trace;
+pub mod wfg;
 
 pub use config::{GenerationProcess, SimConfig};
 pub use sim::{ChannelDesc, RunStats, Simulator};
+pub use trace::{TraceOptions, TraceReport};
+pub use wfg::{StallClass, StallReport};

@@ -29,6 +29,8 @@ use crate::config::{GenerationProcess, SimConfig, CYCLE_NS};
 use crate::nic::{Nic, RxState, TxState};
 use crate::packet::{Packet, PacketArena};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
+use crate::trace::{TraceOptions, TraceReport, TraceState};
+use crate::wfg::StallReport;
 
 /// Static description of a directed channel, for utilization maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,7 +43,7 @@ pub struct ChannelDesc {
 }
 
 /// Aggregated results of one measurement window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     pub window_cycles: u64,
     /// Messages fully delivered (all their packets reassembled).
@@ -145,6 +147,9 @@ pub struct Simulator<'a> {
     selector: PathSelector,
     measure: Measure,
     last_activity: u64,
+    /// Telemetry observers; `None` (the default) keeps every hook in the
+    /// hot path down to a single branch.
+    trace: Option<Box<TraceState>>,
 }
 
 impl<'a> Simulator<'a> {
@@ -269,7 +274,52 @@ impl<'a> Simulator<'a> {
             selector,
             measure: Measure::default(),
             last_activity: 0,
+            trace: None,
         }
+    }
+
+    /// Enable the telemetry observers selected in `opts` (see
+    /// [`TraceOptions`]). No-op when nothing is enabled. Call before
+    /// running; observers record from this point on.
+    pub fn enable_trace(&mut self, opts: TraceOptions) {
+        if opts.any() {
+            self.trace = Some(Box::new(TraceState::new(opts, self.channels.len())));
+        }
+    }
+
+    /// Snapshot of everything the observers recorded so far; `None` when
+    /// tracing was never enabled.
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.trace.as_deref().map(|t| t.report())
+    }
+
+    /// Worst-case number of quiet cycles the engine can legitimately go
+    /// through while still making progress (routing delays, cable
+    /// crossings, in-transit detection + DMA + overflow handling), with
+    /// generous slack. Quiescence beyond this means nothing is coming.
+    fn quiescence_threshold(&self) -> u64 {
+        4 * (self.cfg.link_delay_cycles as u64
+            + self.cfg.switch_routing_cycles as u64
+            + self.cfg.itb_detect_cycles as u64
+            + self.cfg.itb_dma_cycles as u64
+            + self.cfg.itb_overflow_penalty_cycles as u64)
+            + 64
+    }
+
+    /// Build the channel wait-for graph and classify the network's current
+    /// state: [`Idle`](crate::wfg::StallClass::Idle),
+    /// [`Active`](crate::wfg::StallClass::Active), a true cyclic-dependency
+    /// [`Deadlock`](crate::wfg::StallClass::Deadlock) (naming the cycle's
+    /// channels), or [`Starvation`](crate::wfg::StallClass::Starvation).
+    pub fn analyze_stall(&self) -> StallReport {
+        crate::wfg::analyze(
+            &self.switches,
+            self.arena.live(),
+            self.cycle,
+            self.last_activity,
+            self.quiescence_threshold(),
+            &self.channel_descriptors(),
+        )
     }
 
     /// Current simulation time, cycles.
@@ -322,6 +372,9 @@ impl<'a> Simulator<'a> {
         };
         for ch in &mut self.channels {
             ch.reset_busy();
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.on_busy_reset();
         }
     }
 
@@ -473,18 +526,27 @@ impl<'a> Simulator<'a> {
             self.nic_gen(h, cycle);
         }
 
-        // Watchdog: a quiescent network with live packets is a deadlock —
-        // which the routing schemes are supposed to make impossible.
+        // Watchdog: a quiescent network with live packets should be
+        // impossible under the routing schemes' deadlock-freedom argument.
+        // Before aborting, run the wait-for-graph analyzer so the panic
+        // says *what kind* of stall this is (cyclic-dependency deadlock
+        // vs. starvation/livelock) and which channels form the cycle.
         if self.arena.live() > 0
             && cycle - self.last_activity > self.cfg.watchdog_cycles
             && self.nics.iter().all(|n| n.tx.is_none() || n.stopped)
         {
+            let report = self.analyze_stall();
             panic!(
-                "watchdog: no flit moved for {} cycles with {} packets live at cycle {}",
+                "watchdog: no flit moved for {} cycles with {} packets live at cycle {}\n{}",
                 self.cfg.watchdog_cycles,
                 self.arena.live(),
-                cycle
+                cycle,
+                report.summary
             );
+        }
+
+        if let Some(tr) = &mut self.trace {
+            tr.on_cycle_end(cycle, &self.channels, &self.nics);
         }
 
         self.cycle += 1;
@@ -673,6 +735,9 @@ impl<'a> Simulator<'a> {
                     pkt.seg += 1;
                     pkt.hop = 0;
                     self.nics[h].reinject.push(std::cmp::Reverse((ready, pid)));
+                    if let Some(tr) = &mut self.trace {
+                        tr.on_itb_eject(cycle, pid);
+                    }
                     false
                 }
             };
@@ -713,6 +778,16 @@ impl<'a> Simulator<'a> {
                         m.latency.push((cycle - ms.first_inject) as f64);
                         m.hist.record(cycle - ms.first_inject);
                         m.total_latency.push((cycle - ms.gen_cycle) as f64);
+                    }
+                    if let Some(tr) = &mut self.trace {
+                        tr.on_message_delivered(
+                            cycle,
+                            pkt.journey.src.0,
+                            pkt.journey.dst.0,
+                            pkt.payload as u64,
+                            ms.itbs as u64,
+                            ms.first_inject,
+                        );
                     }
                 }
             }
@@ -776,6 +851,11 @@ impl<'a> Simulator<'a> {
         }
         self.channels[nic.out_chan as usize].send(cycle, tx.pid);
         self.last_activity = cycle;
+        if tx.sent == 0 && tx.reinjection {
+            if let Some(tr) = &mut self.trace {
+                tr.on_reinject_start(cycle, tx.pid);
+            }
+        }
         let tx_ref = nic.tx.as_mut().unwrap();
         tx_ref.sent += 1;
         if tx_ref.sent == tx_ref.total {
@@ -1132,5 +1212,105 @@ mod tests {
         };
         let stats = run_once(&topo, RoutingScheme::ItbRr, 0.01, cfg, 5_000, 50_000);
         assert!(stats.delivered > 50);
+    }
+
+    #[test]
+    fn seeded_cyclic_routes_classified_as_deadlock_with_named_cycle() {
+        use crate::wfg::StallClass;
+        use regnet_core::{JourneyTemplate, Segment, SegmentEnd};
+        use regnet_topology::Port;
+
+        let topo = build_ring4();
+        // Deliberately illegal route set: every packet from switch a to
+        // switch b walks clockwise a -> a+1 -> ... -> b around the ring, so
+        // the channel dependency graph contains the cycle
+        // s0->s1 => s1->s2 => s2->s3 => s3->s0 (what up*/down* ordering or
+        // ITB splitting would normally forbid).
+        let n = 4usize;
+        let mut templates = Vec::with_capacity(n * n);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let hops = ((b + 4 - a) % 4) as usize;
+                let switches: Vec<SwitchId> =
+                    (0..=hops).map(|k| SwitchId((a + k as u32) % 4)).collect();
+                let ports: Vec<Port> = switches
+                    .windows(2)
+                    .map(|w| topo.port_to(w[0], w[1]).unwrap())
+                    .collect();
+                templates.push(vec![JourneyTemplate {
+                    segments: vec![Segment {
+                        switches,
+                        ports,
+                        end: SegmentEnd::Deliver,
+                    }],
+                }]);
+            }
+        }
+        let db = RouteDb::from_templates(RoutingScheme::UpDown, n, topo.num_hosts(), templates);
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), 0.0001, 1);
+        sim.stop_generation();
+        // One 512-flit message per switch, each two clockwise hops: every
+        // packet holds its first ring channel while its head waits for the
+        // next one, which the next packet holds — a true cyclic deadlock.
+        for i in 0..4u32 {
+            let src = topo.hosts_of(SwitchId(i))[0];
+            let dst = topo.hosts_of(SwitchId((i + 2) % 4))[0];
+            sim.schedule_message(src, dst, 0);
+        }
+        sim.run(30_000);
+        let report = sim.analyze_stall();
+        assert!(
+            report.is_deadlock(),
+            "expected deadlock, got: {}",
+            report.summary
+        );
+        match &report.class {
+            StallClass::Deadlock { cycle } => {
+                assert_eq!(cycle.len(), 4, "ring cycle has 4 channels: {cycle:?}");
+            }
+            c => panic!("expected Deadlock, got {c:?}"),
+        }
+        // The summary names the cycle's channels for the operator.
+        assert!(report.summary.contains("DEADLOCK"), "{}", report.summary);
+        assert!(report.summary.contains("S0->S1"), "{}", report.summary);
+        assert!(report.summary.contains("=>"), "{}", report.summary);
+    }
+
+    #[test]
+    fn legal_routes_never_classified_as_deadlock() {
+        use crate::wfg::StallClass;
+
+        let topo = build_ring4();
+        for scheme in [
+            RoutingScheme::UpDown,
+            RoutingScheme::ItbSp,
+            RoutingScheme::ItbRr,
+        ] {
+            let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+            let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+            // Far past saturation: heavy blocking, but legal routes cannot
+            // produce a cyclic channel dependency.
+            let mut sim = Simulator::new(&topo, &db, &pattern, small_cfg(), 0.5, 3);
+            sim.run(30_000);
+            let mid = sim.analyze_stall();
+            assert!(
+                matches!(mid.class, StallClass::Active),
+                "{scheme:?} mid-run: {}",
+                mid.summary
+            );
+            sim.stop_generation();
+            assert!(
+                sim.run_until_drained(5_000_000).is_some(),
+                "{scheme:?} failed to drain:\n{}",
+                sim.dump_state()
+            );
+            let idle = sim.analyze_stall();
+            assert!(
+                matches!(idle.class, StallClass::Idle),
+                "{scheme:?} drained: {}",
+                idle.summary
+            );
+        }
     }
 }

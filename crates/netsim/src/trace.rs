@@ -1,0 +1,355 @@
+//! Run-time telemetry for the simulator: pluggable observers that are
+//! zero-cost when disabled.
+//!
+//! The simulator owns an `Option<Box<TraceState>>`; with tracing disabled
+//! every hook in the hot path is a single `is_some` branch. When enabled
+//! (see [`TraceOptions`]), the engine records:
+//!
+//! - **per-channel utilization time series** — busy cycles per channel per
+//!   fixed-size bucket of cycles (the paper's Figures 8/9/11 show only the
+//!   end-of-window average; the series shows how utilization evolves);
+//! - **packet lifetime histogram** — injection → delivery, per message;
+//! - **ITB re-injection latency histogram** — ejection at an in-transit
+//!   host → first re-injected flit (includes the 275 ns detection, the
+//!   200 ns DMA programming and any queueing at the re-injecting NIC);
+//! - **ITB pool occupancy time series** — total reserved pool flits across
+//!   all NICs, sampled on a fixed interval;
+//! - **trace digest** — an order-sensitive FNV-1a fold of every
+//!   delivered-message event `(cycle, src, dst, payload, itbs)`. Two runs
+//!   of the same seeded configuration must produce identical digests; the
+//!   determinism regression suite is built on this.
+
+use serde::{Deserialize, Serialize};
+
+use regnet_metrics::Histogram;
+
+use crate::channel::Channel;
+use crate::nic::Nic;
+
+/// Which observers to enable. `Default` is everything off — the simulator
+/// then allocates no trace state at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOptions {
+    /// Sample per-channel busy cycles every this many cycles.
+    pub channel_util_interval: Option<u64>,
+    /// Record message lifetime and ITB re-injection latency histograms.
+    pub packet_lifetimes: bool,
+    /// Sample total ITB pool occupancy every this many cycles.
+    pub itb_occupancy_interval: Option<u64>,
+    /// Fold delivered-message events into a stable digest.
+    pub digest: bool,
+}
+
+impl TraceOptions {
+    /// Anything enabled?
+    pub fn any(&self) -> bool {
+        self.channel_util_interval.is_some()
+            || self.packet_lifetimes
+            || self.itb_occupancy_interval.is_some()
+            || self.digest
+    }
+
+    /// Only the determinism digest (cheapest useful observer).
+    pub fn digest_only() -> TraceOptions {
+        TraceOptions {
+            digest: true,
+            ..TraceOptions::default()
+        }
+    }
+
+    /// Every observer on, with both time series sampled every
+    /// `interval` cycles.
+    pub fn full(interval: u64) -> TraceOptions {
+        assert!(interval > 0, "trace interval must be positive");
+        TraceOptions {
+            channel_util_interval: Some(interval),
+            packet_lifetimes: true,
+            itb_occupancy_interval: Some(interval),
+            digest: true,
+        }
+    }
+}
+
+/// Busy-cycle time series for every directed channel, bucketed on a fixed
+/// interval. `busy[ch][b]` is the number of busy cycles of channel `ch`
+/// during bucket `b`; divide by `interval` for utilization in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelUtilSeries {
+    pub interval: u64,
+    pub buckets: u64,
+    pub busy: Vec<Vec<u32>>,
+}
+
+/// Total ITB pool occupancy (reserved flits over all NICs), sampled every
+/// `interval` cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancySeries {
+    pub interval: u64,
+    pub samples: Vec<u64>,
+    pub max: u64,
+}
+
+/// Quantile summary of one histogramed latency population (cycles).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_cycles: u64,
+    pub p99_cycles: u64,
+    pub max_cycles: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &Histogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            p50_cycles: h.quantile(0.5),
+            p99_cycles: h.quantile(0.99),
+            max_cycles: h.quantile(1.0),
+        }
+    }
+}
+
+/// Everything the enabled observers recorded, snapshot at collection time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// FNV-1a fold of delivered-message events; `None` when the digest
+    /// observer was off.
+    pub digest: Option<u64>,
+    /// Number of events folded into the digest.
+    pub digest_events: u64,
+    pub channel_util: Option<ChannelUtilSeries>,
+    pub itb_occupancy: Option<OccupancySeries>,
+    /// Injection → delivery, per message.
+    pub lifetime: Option<LatencySummary>,
+    /// ITB ejection → re-injection start, per in-transit hop.
+    pub reinject_latency: Option<LatencySummary>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Live observer state, boxed inside the simulator when tracing is on.
+#[derive(Debug)]
+pub(crate) struct TraceState {
+    opts: TraceOptions,
+    // Channel-utilization series.
+    util_next_flush: u64,
+    util_snapshot: Vec<u64>,
+    util_busy: Vec<Vec<u32>>,
+    util_buckets: u64,
+    // Pool-occupancy series.
+    occ_next_sample: u64,
+    occ_samples: Vec<u64>,
+    occ_max: u64,
+    // Latency histograms.
+    lifetime: Histogram,
+    reinject: Histogram,
+    /// pid -> cycle the in-transit NIC started processing the packet.
+    reinject_pending: std::collections::HashMap<u32, u64>,
+    // Digest.
+    digest: u64,
+    digest_events: u64,
+}
+
+impl TraceState {
+    pub(crate) fn new(opts: TraceOptions, n_channels: usize) -> TraceState {
+        let track_util = opts.channel_util_interval.is_some();
+        TraceState {
+            util_next_flush: opts.channel_util_interval.unwrap_or(u64::MAX),
+            util_snapshot: if track_util {
+                vec![0; n_channels]
+            } else {
+                Vec::new()
+            },
+            util_busy: if track_util {
+                vec![Vec::new(); n_channels]
+            } else {
+                Vec::new()
+            },
+            util_buckets: 0,
+            occ_next_sample: opts.itb_occupancy_interval.unwrap_or(u64::MAX),
+            occ_samples: Vec::new(),
+            occ_max: 0,
+            lifetime: Histogram::new(),
+            reinject: Histogram::new(),
+            reinject_pending: std::collections::HashMap::new(),
+            digest: FNV_OFFSET,
+            digest_events: 0,
+            opts,
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        // FNV-1a over the 8 bytes of `word`.
+        let mut h = self.digest;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.digest = h;
+    }
+
+    /// A message was fully delivered.
+    pub(crate) fn on_message_delivered(
+        &mut self,
+        cycle: u64,
+        src: u32,
+        dst: u32,
+        payload_flits: u64,
+        itbs: u64,
+        inject_cycle: u64,
+    ) {
+        if self.opts.digest {
+            self.fold(cycle);
+            self.fold(((src as u64) << 32) | dst as u64);
+            self.fold(payload_flits);
+            self.fold(itbs);
+            self.digest_events += 1;
+        }
+        if self.opts.packet_lifetimes && inject_cycle != u64::MAX && cycle >= inject_cycle {
+            self.lifetime.record(cycle - inject_cycle);
+        }
+    }
+
+    /// A packet was ejected into an in-transit buffer (`cycle` is when the
+    /// NIC began the detection + DMA processing).
+    pub(crate) fn on_itb_eject(&mut self, cycle: u64, pid: u32) {
+        if self.opts.packet_lifetimes {
+            self.reinject_pending.insert(pid, cycle);
+        }
+    }
+
+    /// A previously ejected packet started re-injecting.
+    pub(crate) fn on_reinject_start(&mut self, cycle: u64, pid: u32) {
+        if self.opts.packet_lifetimes {
+            if let Some(eject) = self.reinject_pending.remove(&pid) {
+                self.reinject.record(cycle.saturating_sub(eject));
+            }
+        }
+    }
+
+    /// Called once per cycle from `Simulator::step` (the only per-cycle
+    /// cost; everything else is event-driven).
+    pub(crate) fn on_cycle_end(&mut self, cycle: u64, channels: &[Channel], nics: &[Nic]) {
+        if cycle + 1 >= self.util_next_flush {
+            let interval = self.opts.channel_util_interval.unwrap_or(u64::MAX);
+            for (i, ch) in channels.iter().enumerate() {
+                let now = ch.busy_cycles;
+                let delta = now.saturating_sub(self.util_snapshot[i]);
+                self.util_snapshot[i] = now;
+                self.util_busy[i].push(delta.min(interval) as u32);
+            }
+            self.util_buckets += 1;
+            self.util_next_flush = self.util_next_flush.saturating_add(interval);
+        }
+        if cycle + 1 >= self.occ_next_sample {
+            let total: u64 = nics.iter().map(|n| n.pool_used as u64).sum();
+            self.occ_max = self.occ_max.max(total);
+            self.occ_samples.push(total);
+            self.occ_next_sample = self
+                .occ_next_sample
+                .saturating_add(self.opts.itb_occupancy_interval.unwrap_or(u64::MAX));
+        }
+    }
+
+    /// The measurement window restarted and channel busy counters were
+    /// reset; re-baseline the utilization snapshots.
+    pub(crate) fn on_busy_reset(&mut self) {
+        for s in &mut self.util_snapshot {
+            *s = 0;
+        }
+    }
+
+    /// Snapshot everything recorded so far.
+    pub(crate) fn report(&self) -> TraceReport {
+        TraceReport {
+            digest: self.opts.digest.then_some(self.digest),
+            digest_events: self.digest_events,
+            channel_util: self
+                .opts
+                .channel_util_interval
+                .map(|interval| ChannelUtilSeries {
+                    interval,
+                    buckets: self.util_buckets,
+                    busy: self.util_busy.clone(),
+                }),
+            itb_occupancy: self
+                .opts
+                .itb_occupancy_interval
+                .map(|interval| OccupancySeries {
+                    interval,
+                    samples: self.occ_samples.clone(),
+                    max: self.occ_max,
+                }),
+            lifetime: self
+                .opts
+                .packet_lifetimes
+                .then(|| LatencySummary::from_histogram(&self.lifetime)),
+            reinject_latency: self
+                .opts
+                .packet_lifetimes
+                .then(|| LatencySummary::from_histogram(&self.reinject)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_off() {
+        let o = TraceOptions::default();
+        assert!(!o.any());
+        assert!(TraceOptions::digest_only().any());
+        assert!(TraceOptions::full(100).any());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = TraceState::new(TraceOptions::digest_only(), 0);
+        let mut b = TraceState::new(TraceOptions::digest_only(), 0);
+        a.on_message_delivered(10, 1, 2, 64, 0, 5);
+        a.on_message_delivered(11, 3, 4, 64, 1, 6);
+        b.on_message_delivered(11, 3, 4, 64, 1, 6);
+        b.on_message_delivered(10, 1, 2, 64, 0, 5);
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.digest_events, 2);
+        assert_ne!(ra.digest, rb.digest, "digest must be order-sensitive");
+        // And equal histories agree.
+        let mut c = TraceState::new(TraceOptions::digest_only(), 0);
+        c.on_message_delivered(10, 1, 2, 64, 0, 5);
+        c.on_message_delivered(11, 3, 4, 64, 1, 6);
+        assert_eq!(a.report().digest, c.report().digest);
+    }
+
+    #[test]
+    fn reinject_latency_pairs_eject_with_start() {
+        let mut t = TraceState::new(
+            TraceOptions {
+                packet_lifetimes: true,
+                ..TraceOptions::default()
+            },
+            0,
+        );
+        t.on_itb_eject(100, 7);
+        t.on_reinject_start(175, 7);
+        // Unmatched start is ignored.
+        t.on_reinject_start(300, 99);
+        let r = t.report();
+        let lat = r.reinject_latency.unwrap();
+        assert_eq!(lat.count, 1);
+        assert!(lat.p50_cycles <= 75 && lat.max_cycles >= 64);
+    }
+
+    #[test]
+    fn report_disabled_sections_absent() {
+        let t = TraceState::new(TraceOptions::digest_only(), 4);
+        let r = t.report();
+        assert!(r.channel_util.is_none());
+        assert!(r.itb_occupancy.is_none());
+        assert!(r.lifetime.is_none());
+        assert!(r.digest.is_some());
+    }
+}

@@ -13,7 +13,11 @@ pub fn to_dot(topo: &Topology, orient: Option<&Orientation>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "// {}", topo.name());
     let directed = orient.is_some();
-    let _ = writeln!(out, "{} regnet {{", if directed { "digraph" } else { "graph" });
+    let _ = writeln!(
+        out,
+        "{} regnet {{",
+        if directed { "digraph" } else { "graph" }
+    );
     let _ = writeln!(out, "  node [shape=box, fontsize=10];");
     for s in topo.switches() {
         let hosts = topo.hosts_of(s).len();
@@ -21,11 +25,7 @@ pub fn to_dot(topo: &Topology, orient: Option<&Orientation>) -> String {
             Some(o) => format!("\\nlevel {}", o.level(s)),
             None => String::new(),
         };
-        let _ = writeln!(
-            out,
-            "  s{} [label=\"{s}\\n{hosts} hosts{extra}\"];",
-            s.0
-        );
+        let _ = writeln!(out, "  s{} [label=\"{s}\\n{hosts} hosts{extra}\"];", s.0);
     }
     for link in topo.links() {
         if let Some((a, b)) = link.switch_ends() {

@@ -62,6 +62,7 @@ fn main() {
         warmup_cycles: 20_000,
         measure_cycles: 60_000,
         seed: 11,
+        ..RunOptions::default()
     };
     let search = ThroughputSearch {
         start: 0.005,

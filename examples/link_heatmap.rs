@@ -22,6 +22,7 @@ fn main() {
         warmup_cycles: 30_000,
         measure_cycles: 80_000,
         seed: 9,
+        ..RunOptions::default()
     };
     for scheme in [RoutingScheme::UpDown, RoutingScheme::ItbRr] {
         let exp = Experiment::new(

@@ -24,6 +24,7 @@ fn main() {
         warmup_cycles: 20_000,
         measure_cycles: 80_000,
         seed: 42,
+        ..RunOptions::default()
     };
 
     println!("\nscheme    offered  accepted  avg-latency  itbs/msg");

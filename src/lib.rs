@@ -39,7 +39,12 @@
 //!
 //! let point = exp.run_point(
 //!     0.005,
-//!     &RunOptions { warmup_cycles: 5_000, measure_cycles: 20_000, seed: 7 },
+//!     &RunOptions {
+//!         warmup_cycles: 5_000,
+//!         measure_cycles: 20_000,
+//!         seed: 7,
+//!         ..RunOptions::default()
+//!     },
 //! );
 //! assert!(point.delivered > 0);
 //! ```
@@ -63,7 +68,10 @@ pub mod prelude {
     };
     pub use regnet_metrics::{Curve, CurvePoint, UtilizationSummary};
     pub use regnet_netsim::experiment::{Experiment, RunOptions, ThroughputSearch};
-    pub use regnet_netsim::{GenerationProcess, RunStats, SimConfig, Simulator};
+    pub use regnet_netsim::{
+        GenerationProcess, RunStats, SimConfig, Simulator, StallClass, StallReport, TraceOptions,
+        TraceReport,
+    };
     pub use regnet_routing::{LegalDistances, SwitchPath};
     pub use regnet_topology::{
         gen, DistanceMatrix, HostId, LinkId, NodeId, Orientation, Port, SpanningTree, SwitchId,

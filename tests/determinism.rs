@@ -1,0 +1,126 @@
+//! Determinism regression suite: a run is a pure function of
+//! (topology, routing scheme, pattern, config, seed). Re-running with the
+//! same seed must reproduce the measurement statistics *and* the trace
+//! digest — a stable hash folded over every delivered-message event in
+//! order, so it catches reorderings that happen to leave the aggregate
+//! statistics unchanged.
+
+use regnet::prelude::*;
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+        seed,
+        trace: TraceOptions::digest_only(),
+    }
+}
+
+fn run_once(topo: Topology, scheme: RoutingScheme, seed: u64) -> (RunStats, u64, u64) {
+    let cfg = SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        topo,
+        scheme,
+        RouteDbConfig::default(),
+        PatternSpec::Uniform,
+        cfg,
+    )
+    .unwrap();
+    let (stats, trace) = exp.run_traced(0.01, &opts(seed));
+    let trace = trace.expect("digest observer was enabled");
+    (
+        stats,
+        trace.digest.expect("digest recorded"),
+        trace.digest_events,
+    )
+}
+
+fn assert_deterministic(build: fn() -> Topology, scheme: RoutingScheme) {
+    let (s1, d1, n1) = run_once(build(), scheme, 42);
+    let (s2, d2, n2) = run_once(build(), scheme, 42);
+    assert_eq!(
+        s1,
+        s2,
+        "RunStats diverged across identical runs ({} {:?})",
+        build().name(),
+        scheme
+    );
+    assert_eq!(
+        (d1, n1),
+        (d2, n2),
+        "trace digest diverged across identical runs ({} {:?})",
+        build().name(),
+        scheme
+    );
+    assert!(n1 > 0, "expected deliveries during the window");
+}
+
+fn torus() -> Topology {
+    gen::torus_2d(8, 8, 8).unwrap()
+}
+
+fn express() -> Topology {
+    gen::torus_2d_express(8, 8, 8).unwrap()
+}
+
+fn cplant() -> Topology {
+    gen::cplant().unwrap()
+}
+
+#[test]
+fn torus_updown_is_deterministic() {
+    assert_deterministic(torus, RoutingScheme::UpDown);
+}
+
+#[test]
+fn torus_itb_sp_is_deterministic() {
+    assert_deterministic(torus, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn torus_itb_rr_is_deterministic() {
+    assert_deterministic(torus, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn express_updown_is_deterministic() {
+    assert_deterministic(express, RoutingScheme::UpDown);
+}
+
+#[test]
+fn express_itb_sp_is_deterministic() {
+    assert_deterministic(express, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn express_itb_rr_is_deterministic() {
+    assert_deterministic(express, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn cplant_updown_is_deterministic() {
+    assert_deterministic(cplant, RoutingScheme::UpDown);
+}
+
+#[test]
+fn cplant_itb_sp_is_deterministic() {
+    assert_deterministic(cplant, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn cplant_itb_rr_is_deterministic() {
+    assert_deterministic(cplant, RoutingScheme::ItbRr);
+}
+
+/// The digest must actually depend on the traffic: different seeds produce
+/// different delivery streams, so a digest collision here would mean the
+/// observer is hashing nothing.
+#[test]
+fn different_seeds_give_different_digests() {
+    let (_, d1, _) = run_once(torus(), RoutingScheme::ItbRr, 1);
+    let (_, d2, _) = run_once(torus(), RoutingScheme::ItbRr, 2);
+    assert_ne!(d1, d2);
+}

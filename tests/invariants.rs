@@ -149,6 +149,7 @@ fn whole_pipeline_is_deterministic() {
                 warmup_cycles: 5_000,
                 measure_cycles: 20_000,
                 seed: 4,
+                ..RunOptions::default()
             },
         )
     };
@@ -177,6 +178,7 @@ fn different_seeds_differ() {
                 warmup_cycles: 5_000,
                 measure_cycles: 20_000,
                 seed,
+                ..RunOptions::default()
             },
         )
     };

@@ -17,6 +17,7 @@ fn opts(seed: u64) -> RunOptions {
         warmup_cycles: 15_000,
         measure_cycles: 50_000,
         seed,
+        ..RunOptions::default()
     }
 }
 

@@ -1,0 +1,55 @@
+//! Property tests of the wait-for-graph stall classifier: with *legal*
+//! route sets (everything `RouteDb::build` produces) the analyzer must
+//! never report a cyclic channel dependency — on any topology, scheme or
+//! load — and a drained network is always classified as idle.
+
+use proptest::prelude::*;
+
+use regnet::prelude::*;
+
+fn arb_setup() -> impl Strategy<Value = (Topology, RoutingScheme, f64, u64)> {
+    (
+        (4usize..10, 2usize..4, 1usize..3, 0u64..500),
+        0u8..3,
+        0.01f64..0.2,
+        any::<u64>(),
+    )
+        .prop_map(|((n, deg, hosts, tseed), scheme, load, seed)| {
+            (
+                gen::irregular_random(n, deg, hosts, tseed).expect("topology"),
+                RoutingScheme::all()[scheme as usize],
+                load,
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn legal_routes_never_classified_as_deadlock(
+        (topo, scheme, load, seed) in arb_setup()
+    ) {
+        let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let cfg = SimConfig { payload_flits: 64, ..SimConfig::default() };
+        let mut sim = Simulator::new(&topo, &db, &pattern, cfg, load, seed);
+        sim.run(15_000);
+        let mid = sim.analyze_stall();
+        prop_assert!(!mid.is_deadlock(), "mid-run: {}", mid.summary);
+        sim.stop_generation();
+        let mut guard = 0;
+        while sim.packets_in_flight() > 0 {
+            sim.run(2_000);
+            guard += 1;
+            prop_assert!(guard < 1_000, "drain failed:\n{}", sim.dump_state());
+        }
+        let idle = sim.analyze_stall();
+        prop_assert!(
+            matches!(idle.class, StallClass::Idle),
+            "drained network misclassified: {}",
+            idle.summary
+        );
+    }
+}

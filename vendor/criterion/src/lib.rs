@@ -1,0 +1,296 @@
+//! Vendored minimal stand-in for `criterion` so benches build and run
+//! offline. Implements the API surface the regnet benches use — groups,
+//! `sample_size`/`warm_up_time`/`measurement_time`/`throughput`,
+//! `Bencher::{iter, iter_batched}`, the `criterion_group!`/`criterion_main!`
+//! macros and `black_box` — with plain wall-clock timing: per benchmark it
+//! warms up, then takes `sample_size` timed samples and prints mean /
+//! min / max ns per iteration (plus derived throughput). No statistics
+//! beyond that, no HTML reports, no comparison to saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How throughput is derived from iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; the vendored harness always runs
+/// one setup per measured invocation, so this is accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    NumIterations(u64),
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// One benchmark's measured samples (ns per iteration).
+struct Samples {
+    per_iter_ns: Vec<f64>,
+}
+
+impl Samples {
+    fn mean(&self) -> f64 {
+        self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len().max(1) as f64
+    }
+
+    fn min(&self) -> f64 {
+        self.per_iter_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn max(&self) -> f64 {
+        self.per_iter_ns.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(id: &str, samples: &Samples, throughput: Option<Throughput>) {
+    let mean = samples.mean();
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(samples.min()),
+        fmt_ns(mean),
+        fmt_ns(samples.max())
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => format!("{:.3} Kelem/s", n as f64 / mean * 1e9 / 1e3),
+            Throughput::Bytes(n) => {
+                format!("{:.3} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+            }
+        };
+        line.push_str(&format!("  thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Passed to the benchmark closure; records timing for the harness.
+pub struct Bencher {
+    settings: Settings,
+    samples: Option<Samples>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly: warm-up phase, then `sample_size` samples
+    /// whose iteration counts are sized to fill `measurement_time`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: how many iterations fit in the warm-up
+        // window tells us the per-iteration cost order of magnitude.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1 && warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let total_iters =
+            ((budget / per_iter.max(1e-9)) as u64).max(self.settings.sample_size as u64);
+        let iters_per_sample = (total_iters / self.settings.sample_size as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.samples = Some(Samples { per_iter_ns });
+    }
+
+    /// Like `iter`, but with untimed per-invocation setup.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // One warm-up invocation to page everything in.
+        black_box(routine(setup()));
+        let mut per_iter_ns = Vec::with_capacity(self.settings.sample_size);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for i in 0..self.settings.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            per_iter_ns.push(t.elapsed().as_nanos() as f64);
+            black_box(out);
+            // Keep at least two samples even if the budget is blown.
+            if Instant::now() > deadline && i >= 1 {
+                break;
+            }
+        }
+        self.samples = Some(Samples { per_iter_ns });
+    }
+
+    /// Upstream-compatible alias used by some benches.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.settings.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            settings: self.settings.clone(),
+            samples: None,
+        };
+        f(&mut b);
+        match b.samples {
+            Some(s) => report(&id, &s, self.settings.throughput),
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            settings: self.settings.clone(),
+            samples: None,
+        };
+        f(&mut b);
+        match b.samples {
+            Some(s) => report(&id, &s, self.settings.throughput),
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("iter", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

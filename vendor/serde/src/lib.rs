@@ -1,0 +1,309 @@
+//! Vendored minimal stand-in for `serde` so the workspace builds offline.
+//!
+//! The data model is deliberately narrow: `Serialize` writes JSON directly
+//! into a `String` (that is the only serialization regnet performs — via
+//! `serde_json::to_string_pretty`), and `Deserialize` is a marker trait so
+//! `#[derive(Deserialize)]` on result types keeps compiling. The derive
+//! macros live in the vendored `serde_derive` crate and emit impls of these
+//! traits with upstream-serde JSON semantics (externally tagged enums,
+//! `Option` as value-or-null, structs as objects).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker so `#[derive(Deserialize)]` stays accepted; no input format is
+/// implemented (nothing in regnet deserializes).
+pub trait Deserialize: Sized {}
+
+/// Escape and quote a string per RFC 8259.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // `1.0f64` displays as "1"; that is already a valid JSON number.
+    } else {
+        // JSON has no NaN/Infinity; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self, out);
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self as f64, out);
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Deterministic output: sort the serialized elements.
+        let mut items: Vec<String> = self
+            .iter()
+            .map(|v| {
+                let mut s = String::new();
+                v.serialize_json(&mut s);
+                s
+            })
+            .collect();
+        items.sort();
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(item);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Deterministic output: sort entries by serialized key.
+        let mut entries: Vec<(String, &V)> = self
+            .iter()
+            .map(|(k, v)| {
+                let mut ks = String::new();
+                k.serialize_json(&mut ks);
+                (ks, v)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push('{');
+        for (i, (ks, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if ks.starts_with('"') {
+                out.push_str(ks);
+            } else {
+                // JSON object keys must be strings.
+                write_json_string(ks, out);
+            }
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut ks = String::new();
+            k.serialize_json(&mut ks);
+            if ks.starts_with('"') {
+                out.push_str(&ks);
+            } else {
+                write_json_string(&ks, out);
+            }
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&3u32), "3");
+        assert_eq!(json(&-7i64), "-7");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&1.0f64), "1");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&"a\"b\n".to_string()), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&[1u8, 2]), "[1,2]");
+        assert_eq!(json(&Some(5u8)), "5");
+        assert_eq!(json(&Option::<u8>::None), "null");
+        assert_eq!(json(&(1u8, "x".to_string())), "[1,\"x\"]");
+        assert_eq!(
+            json(&vec![("a".to_string(), vec![1.0f64])]),
+            "[[\"a\",[1]]]"
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the offline
+//! build. Parses the item's token stream by hand (no syn/quote) and emits
+//! impls of the vendored `serde::Serialize`/`serde::Deserialize` traits with
+//! upstream-serde JSON semantics:
+//!
+//! - named struct  -> `{"field": value, ...}`
+//! - newtype struct -> inner value
+//! - tuple struct  -> `[v0, v1, ...]`
+//! - unit enum variant    -> `"Variant"`
+//! - newtype enum variant -> `{"Variant": value}`
+//! - tuple enum variant   -> `{"Variant": [v0, ...]}`
+//! - struct enum variant  -> `{"Variant": {"field": value, ...}}`
+//!
+//! Limitations (checked, not silent): no generic types, no `#[serde(...)]`
+//! attributes. Nothing in this workspace needs either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        _ => panic!("serde_derive: expected [...] after #"),
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (outside any `<...>` nesting);
+    /// consumes the comma. Used to skip field types.
+    fn skip_type_to_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Count fields of a tuple-struct/-variant body: top-level comma-separated,
+/// possibly with trailing comma.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle += 1;
+                in_field = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle -= 1;
+                in_field = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle == 0 => {
+                if in_field {
+                    fields += 1;
+                }
+                in_field = false;
+            }
+            _ => in_field = true,
+        }
+    }
+    if in_field {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        cur.skip_type_to_comma();
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kw = cur.expect_ident();
+    let name;
+    match kw.as_str() {
+        "struct" => {
+            name = cur.expect_ident();
+            if let Some(TokenTree::Punct(p)) = cur.peek() {
+                if p.as_char() == '<' {
+                    panic!("serde_derive (vendored): generic type `{name}` not supported");
+                }
+            }
+            let shape = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            name = cur.expect_ident();
+            if let Some(TokenTree::Punct(p)) = cur.peek() {
+                if p.as_char() == '<' {
+                    panic!("serde_derive (vendored): generic type `{name}` not supported");
+                }
+            }
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut vcur = Cursor::new(body);
+            while vcur.peek().is_some() {
+                vcur.skip_attributes();
+                let vname = vcur.expect_ident();
+                let shape = match vcur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                        vcur.pos += 1;
+                        s
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let s = Shape::Named(parse_named_fields(g.stream()));
+                        vcur.pos += 1;
+                        s
+                    }
+                    _ => Shape::Unit,
+                };
+                // Consume the separating comma (tolerate trailing/absent).
+                if let Some(TokenTree::Punct(p)) = vcur.peek() {
+                    if p.as_char() == ',' {
+                        vcur.pos += 1;
+                    } else if p.as_char() == '=' {
+                        panic!("serde_derive (vendored): explicit discriminants not supported");
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Emit statements serializing an object body `{"f": <expr>, ...}` where each
+/// field value is reachable through `prefix` (e.g. `&self.` or `` for bound
+/// pattern idents).
+fn gen_named_body(fields: &[Field], access: impl Fn(&str) -> String, out: &mut String) {
+    out.push_str("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "out.push_str(\"\\\"{}\\\":\");\nserde::Serialize::serialize_json({}, out);\n",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    out.push_str("out.push('}');\n");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let type_name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match item {
+        Item::Struct { shape, .. } => match shape {
+            Shape::Named(fields) => {
+                gen_named_body(fields, |f| format!("&self.{f}"), &mut body);
+            }
+            Shape::Tuple(1) => {
+                body.push_str("serde::Serialize::serialize_json(&self.0, out);\n");
+            }
+            Shape::Tuple(n) => {
+                body.push_str("out.push('[');\n");
+                for i in 0..*n {
+                    if i > 0 {
+                        body.push_str("out.push(',');\n");
+                    }
+                    body.push_str(&format!(
+                        "serde::Serialize::serialize_json(&self.{i}, out);\n"
+                    ));
+                }
+                body.push_str("out.push(']');\n");
+            }
+            Shape::Unit => body.push_str("out.push_str(\"null\");\n"),
+        },
+        Item::Enum { name, variants } => {
+            if variants.is_empty() {
+                body.push_str("match *self {}\n");
+            } else {
+                body.push_str("match self {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            body.push_str(&format!(
+                                "{name}::{vn} => serde::write_json_string(\"{vn}\", out),\n"
+                            ));
+                        }
+                        Shape::Tuple(1) => {
+                            body.push_str(&format!(
+                                "{name}::{vn}(f0) => {{\nout.push_str(\"{{\\\"{vn}\\\":\");\nserde::Serialize::serialize_json(f0, out);\nout.push('}}');\n}}\n"
+                            ));
+                        }
+                        Shape::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            body.push_str(&format!(
+                                "{name}::{vn}({}) => {{\nout.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                                pats.join(", ")
+                            ));
+                            for (i, p) in pats.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "serde::Serialize::serialize_json({p}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push_str(\"]}\");\n}\n");
+                        }
+                        Shape::Named(fields) => {
+                            let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                            body.push_str(&format!(
+                                "{name}::{vn} {{ {} }} => {{\nout.push_str(\"{{\\\"{vn}\\\":\");\n",
+                                pats.join(", ")
+                            ));
+                            gen_named_body(fields, |f| f.to_string(), &mut body);
+                            body.push_str("out.push('}');\n}\n");
+                        }
+                    }
+                }
+                body.push_str("}\n");
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {type_name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,120 @@
+//! Vendored minimal stand-in for `serde_json` so the workspace builds
+//! offline. Supports the serialization half only — `to_string` and
+//! `to_string_pretty` over the vendored `serde::Serialize` trait (regnet
+//! never parses JSON). Pretty output re-indents the compact form with a
+//! small string-aware formatter (2-space indent, serde_json style).
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON (2-space indentation, matching upstream serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    Ok(pretty(&compact))
+}
+
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut chars = compact.chars().peekable();
+    let push_indent = |out: &mut String, n: usize| {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                // Copy the string literal verbatim, honouring escapes.
+                out.push('"');
+                while let Some(s) = chars.next() {
+                    out.push(s);
+                    if s == '\\' {
+                        if let Some(esc) = chars.next() {
+                            out.push(esc);
+                        }
+                    } else if s == '"' {
+                        break;
+                    }
+                }
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    out.push(c);
+                    indent += 1;
+                    push_indent(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_passthrough() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_shapes() {
+        let v: Vec<(String, Vec<u32>)> = vec![("a".to_string(), vec![1, 2])];
+        let p = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            p,
+            "[\n  [\n    \"a\",\n    [\n      1,\n      2\n    ]\n  ]\n]"
+        );
+        let empty: Vec<u8> = vec![];
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_preserves_escaped_strings() {
+        let s = "a\"b:{,}".to_string();
+        let p = to_string_pretty(&s).unwrap();
+        assert_eq!(p, "\"a\\\"b:{,}\"");
+    }
+}
