@@ -1,18 +1,31 @@
 //! Development diagnostic: run the paper torus under ITB-SP at low load,
 //! dump where live packets are parked and classify any suspected stall via
 //! the wait-for-graph analyzer (deadlock cycle vs starvation vs active).
+//! `--fail-link <id>@<cycle>` (repeatable) injects link failures to inspect
+//! the post-fault state.
 
+use regnet_bench::parse_fail_links;
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{SimConfig, Simulator};
+use regnet_netsim::{FaultOptions, SimConfig, Simulator};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let topo = gen::torus_2d(8, 8, 8).unwrap();
     let db = RouteDb::build(&topo, RoutingScheme::ItbSp, &RouteDbConfig::default());
     let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
     let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), 0.001, 1);
+    let faulted = if let Some(plan) = parse_fail_links(&args) {
+        sim.enable_faults(FaultOptions::with_plan(plan));
+        true
+    } else {
+        false
+    };
     sim.run(200_000);
     println!("{}", sim.dump_state());
+    if faulted {
+        println!("{:#?}", sim.reliability());
+    }
     println!("{}", sim.analyze_stall().summary);
 }

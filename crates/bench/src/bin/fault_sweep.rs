@@ -1,0 +1,238 @@
+//! Dependability experiment: how gracefully each routing scheme degrades
+//! under live link failures with NIC retransmission and online
+//! reconfiguration enabled.
+//!
+//! Two outputs, both under `target/experiments/`:
+//!
+//! * `fault_throughput_vs_failed_links` — accepted traffic at a fixed
+//!   offered load as a function of the number of failed links (the curve's
+//!   "offered" column is k, the failure count), one curve per scheme.
+//! * `fault_goodput_dip` — delivered-payload goodput over time through a
+//!   fail/repair cycle on one link, one series per scheme: the dip, the
+//!   reconfiguration stall and the recovery.
+//!
+//! Modes: default = quick (reduced windows), `--full` = longer windows,
+//! `--smoke` = tiny topology and windows for CI (seconds).
+//! `--topo torus|express|cplant` picks the paper topology (default torus);
+//! output file names carry the topology.
+
+use regnet_bench::{save_curves, save_time_series, threads, Topo};
+use regnet_core::{RouteDbConfig, RoutingScheme};
+use regnet_metrics::{Curve, CurvePoint, TimeSeries};
+use regnet_netsim::experiment::{par_map, Experiment, RunOptions};
+use regnet_netsim::{FaultOptions, FaultPlan, SimConfig, TraceOptions, CYCLE_NS};
+use regnet_topology::{gen, LinkId, Topology};
+use regnet_traffic::PatternSpec;
+
+struct Params {
+    topo: fn() -> Topology,
+    /// Suffix for output file names.
+    topo_name: String,
+    offered: f64,
+    warmup: u64,
+    measure: u64,
+    /// Failure counts for the throughput-vs-failed-links sweep.
+    ks: Vec<usize>,
+    /// Goodput sampling interval, cycles.
+    interval: u64,
+    cfg: SimConfig,
+}
+
+fn params() -> Params {
+    let args: Vec<String> = std::env::args().collect();
+    let sel = args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("torus")
+        .to_string();
+    let topo: fn() -> Topology = match sel.as_str() {
+        "torus" => || Topo::Torus.build(),
+        "express" => || Topo::Express.build(),
+        "cplant" => || Topo::Cplant.build(),
+        other => panic!("unknown --topo {other:?} (torus|express|cplant)"),
+    };
+    if args.iter().any(|a| a == "--smoke") {
+        Params {
+            topo: || gen::torus_2d(4, 4, 2).expect("torus"),
+            topo_name: "smoke".to_string(),
+            offered: 0.01,
+            warmup: 4_000,
+            measure: 12_000,
+            ks: vec![0, 1, 2],
+            interval: 1_000,
+            // The smoke windows are far shorter than the default 100 µs
+            // mapper latency; scale it down so reconfiguration completes.
+            cfg: SimConfig {
+                reconfig_latency_cycles: 2_000,
+                ..SimConfig::default()
+            },
+        }
+    } else if args.iter().any(|a| a == "--full") {
+        Params {
+            topo,
+            topo_name: sel.clone(),
+            offered: 0.01,
+            warmup: 100_000,
+            measure: 300_000,
+            ks: vec![0, 1, 2, 4, 8, 16],
+            interval: 5_000,
+            cfg: SimConfig::default(),
+        }
+    } else {
+        Params {
+            topo,
+            topo_name: sel,
+            offered: 0.01,
+            warmup: 40_000,
+            measure: 100_000,
+            ks: vec![0, 1, 2, 4, 8],
+            interval: 2_500,
+            cfg: SimConfig::default(),
+        }
+    }
+}
+
+/// `k` switch links spread evenly across the topology (deterministic).
+fn spaced_switch_links(topo: &Topology, k: usize) -> Vec<LinkId> {
+    let links: Vec<LinkId> = topo
+        .links()
+        .iter()
+        .filter(|l| l.is_switch_link())
+        .map(|l| l.id)
+        .collect();
+    assert!(k <= links.len(), "cannot fail {k} of {} links", links.len());
+    (0..k).map(|i| links[i * links.len() / k.max(1)]).collect()
+}
+
+fn experiment(p: &Params, scheme: RoutingScheme) -> Experiment {
+    Experiment::new(
+        (p.topo)(),
+        scheme,
+        RouteDbConfig::default(),
+        PatternSpec::Uniform,
+        p.cfg.clone(),
+    )
+    .expect("experiment construction")
+}
+
+/// Accepted traffic vs number of failed links. Links fail at cycle 0, so
+/// the measurement window sees the reconfigured steady state.
+fn throughput_vs_failed_links(p: &Params) {
+    let mut curves = Vec::new();
+    for scheme in [
+        RoutingScheme::UpDown,
+        RoutingScheme::ItbSp,
+        RoutingScheme::ItbRr,
+    ] {
+        let exp = experiment(p, scheme);
+        let results = par_map(p.ks.len(), threads(), |i| {
+            let k = p.ks[i];
+            let mut plan = FaultPlan::new();
+            for l in spaced_switch_links(exp.topology(), k) {
+                plan.fail_link(0, l);
+            }
+            let opts = RunOptions {
+                warmup_cycles: p.warmup,
+                measure_cycles: p.measure,
+                seed: 1,
+                faults: Some(FaultOptions::with_plan(plan)),
+                ..RunOptions::default()
+            };
+            exp.run_reliability(p.offered, &opts)
+        });
+        let mut curve = Curve::new(format!("{} vs failed links", scheme.label()));
+        for (&k, (stats, rel, _)) in p.ks.iter().zip(&results) {
+            let accepted = stats.accepted_flits_per_ns_per_switch(exp.topology().num_switches());
+            println!(
+                "{:8} k={:2} accepted {:.4} lat {:8.0} ns delivered {:6} dropped {:4} \
+                 reconfigs {} lost-pairs {}",
+                scheme.label(),
+                k,
+                accepted,
+                stats.avg_latency_ns,
+                stats.delivered,
+                rel.dropped_packets,
+                rel.reconfigurations,
+                rel.unreachable_pairs,
+            );
+            curve.push(CurvePoint {
+                offered: k as f64, // the x axis of this figure is k
+                accepted,
+                avg_latency_ns: stats.avg_latency_ns,
+                p99_latency_ns: stats.p99_latency_ns,
+                avg_total_latency_ns: stats.avg_total_latency_ns,
+                avg_itbs_per_msg: stats.avg_itbs_per_msg,
+                delivered: stats.delivered,
+            });
+        }
+        curves.push(curve);
+    }
+    save_curves(
+        &format!("fault_throughput_vs_failed_links_{}", p.topo_name),
+        &curves,
+    );
+}
+
+/// Goodput over time through one fail/repair cycle on a single link.
+fn goodput_dip(p: &Params) {
+    let total = p.warmup + p.measure;
+    let fail_at = p.warmup + p.measure / 4;
+    let repair_at = p.warmup + (3 * p.measure) / 4;
+    let mut ts = TimeSeries::new(
+        format!("goodput through a link fail/repair ({fail_at}/{repair_at})"),
+        p.interval,
+    );
+    for scheme in [
+        RoutingScheme::UpDown,
+        RoutingScheme::ItbSp,
+        RoutingScheme::ItbRr,
+    ] {
+        let exp = experiment(p, scheme);
+        let link = spaced_switch_links(exp.topology(), 1)[0];
+        let mut plan = FaultPlan::single_link(link, fail_at);
+        plan.repair_link(repair_at, link);
+        let opts = RunOptions {
+            warmup_cycles: p.warmup,
+            measure_cycles: p.measure,
+            seed: 1,
+            trace: TraceOptions {
+                goodput_interval: Some(p.interval),
+                ..TraceOptions::default()
+            },
+            faults: Some(FaultOptions::with_plan(plan)),
+        };
+        let (_, rel, report) = exp.run_reliability(p.offered, &opts);
+        let g = report
+            .and_then(|r| r.goodput)
+            .expect("goodput observer was enabled");
+        // Payload flits per bucket -> flits/ns, comparable across intervals.
+        let per_ns: Vec<f64> = g
+            .samples
+            .iter()
+            .map(|&s| s as f64 / (g.interval as f64 * CYCLE_NS))
+            .collect();
+        println!(
+            "{:8} {} samples over {} cycles; truncated {} retransmitted {} dropped {}",
+            scheme.label(),
+            per_ns.len(),
+            total,
+            rel.worms_truncated,
+            rel.retransmissions,
+            rel.dropped_packets,
+        );
+        ts.push(scheme.label(), per_ns);
+    }
+    save_time_series(&format!("fault_goodput_dip_{}", p.topo_name), &ts);
+}
+
+fn main() {
+    let p = params();
+    println!(
+        "fault sweep: offered {:.4}, warmup {}, measure {}, ks {:?}",
+        p.offered, p.warmup, p.measure, p.ks
+    );
+    throughput_vs_failed_links(&p);
+    goodput_dip(&p);
+}

@@ -4,8 +4,9 @@
 //! trace observers on and finishes each point with a wait-for-graph stall
 //! classification.
 
+use regnet_bench::parse_fail_links;
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{SimConfig, Simulator, TraceOptions};
+use regnet_netsim::{FaultOptions, SimConfig, Simulator, TraceOptions};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
 
@@ -17,6 +18,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.015);
+    let fault_plan = parse_fail_links(&args);
     let (warmup_cycles, measure_cycles) = (60_000u64, 150_000u64);
     let topo = gen::torus_2d(8, 8, 8).expect("torus");
     let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).expect("pattern");
@@ -33,6 +35,9 @@ fn main() {
             digest: true,
             ..TraceOptions::default()
         });
+        if let Some(plan) = &fault_plan {
+            sim.enable_faults(FaultOptions::with_plan(plan.clone()));
+        }
         let build = t0.elapsed();
         let t1 = std::time::Instant::now();
         sim.run(warmup_cycles);
@@ -64,6 +69,18 @@ fn main() {
                     report.digest_events
                 );
             }
+        }
+        if fault_plan.is_some() {
+            let rel = sim.reliability();
+            println!(
+                "         faults: {} link fail(s), {} truncated, {} retransmitted, \
+                 {} dropped, {} reconfig(s)",
+                rel.link_failures,
+                rel.worms_truncated,
+                rel.retransmissions,
+                rel.dropped_packets,
+                rel.reconfigurations
+            );
         }
         let stall = sim.analyze_stall();
         println!(

@@ -110,11 +110,43 @@ pub fn experiment(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec) -
     .expect("experiment construction")
 }
 
-/// Number of worker threads for sweeps.
+/// Number of worker threads for sweeps. `REGNET_THREADS=<n>` overrides the
+/// detected parallelism (useful for CI runners and reproducible timings).
 pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("REGNET_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("ignoring invalid REGNET_THREADS={v:?}"),
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Parse every `--fail-link <id>@<cycle>` occurrence in `args` into a
+/// fault plan; `None` when the flag is absent. Shared by the probe and
+/// diagnose binaries.
+pub fn parse_fail_links(args: &[String]) -> Option<regnet_netsim::FaultPlan> {
+    let mut plan = regnet_netsim::FaultPlan::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--fail-link" {
+            let spec = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--fail-link needs <id>@<cycle>"));
+            let (id, cycle) = spec
+                .split_once('@')
+                .unwrap_or_else(|| panic!("bad --fail-link {spec:?}: expected <id>@<cycle>"));
+            let id: u32 = id.parse().expect("link id must be an integer");
+            let cycle: u64 = cycle.parse().expect("cycle must be an integer");
+            plan.fail_link(cycle, regnet_topology::LinkId(id));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (!plan.is_empty()).then_some(plan)
 }
 
 /// Geometric load ladder between `lo` and `hi` (inclusive), `n` points.
@@ -189,6 +221,36 @@ mod tests {
         assert_eq!(Topo::parse("nope"), None);
         assert_eq!(Topo::Torus.build().num_hosts(), 512);
         assert_eq!(Topo::Cplant.build().num_hosts(), 400);
+    }
+
+    #[test]
+    fn fail_link_parsing() {
+        let args: Vec<String> = [
+            "x",
+            "--fail-link",
+            "3@5000",
+            "--load",
+            "0.01",
+            "--fail-link",
+            "7@9000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let plan = parse_fail_links(&args).expect("two events");
+        assert_eq!(plan.len(), 2);
+        assert!(parse_fail_links(&["x".to_string()]).is_none());
+    }
+
+    #[test]
+    fn threads_env_override() {
+        // Serial with itself only: no other test reads threads().
+        std::env::set_var("REGNET_THREADS", "3");
+        assert_eq!(threads(), 3);
+        std::env::set_var("REGNET_THREADS", "zero");
+        assert!(threads() >= 1, "bad override falls back to detection");
+        std::env::remove_var("REGNET_THREADS");
+        assert!(threads() >= 1);
     }
 
     #[test]

@@ -245,6 +245,38 @@ impl RouteDb {
         }
     }
 
+    /// Like [`from_templates`](RouteDb::from_templates), but pairs are
+    /// allowed to have *no* alternative at all — the shape a degraded
+    /// network produces when some switch pairs are unreachable (the mapper's
+    /// runtime reconfiguration builds these). Callers must check
+    /// [`has_route`](RouteDb::has_route) before [`select`](RouteDb::select).
+    pub fn from_templates_partial(
+        scheme: RoutingScheme,
+        n_switches: usize,
+        n_hosts: usize,
+        templates: Vec<Vec<JourneyTemplate>>,
+    ) -> RouteDb {
+        assert_eq!(
+            templates.len(),
+            n_switches * n_switches,
+            "one template list per ordered switch pair"
+        );
+        RouteDb {
+            scheme,
+            n_switches,
+            n_hosts,
+            templates,
+        }
+    }
+
+    /// Does the table hold at least one route for this ordered switch pair?
+    /// Always true for databases built by [`build`](RouteDb::build); may be
+    /// false for [`from_templates_partial`](RouteDb::from_templates_partial)
+    /// tables on a partitioned network.
+    pub fn has_route(&self, src: SwitchId, dst: SwitchId) -> bool {
+        !self.templates[src.idx() * self.n_switches + dst.idx()].is_empty()
+    }
+
     /// The scheme this database implements.
     pub fn scheme(&self) -> RoutingScheme {
         self.scheme

@@ -57,6 +57,24 @@ impl FaultSet {
         self
     }
 
+    /// Undo [`kill_link`](FaultSet::kill_link) — the cable was repaired.
+    pub fn revive_link(&mut self, l: LinkId) -> &mut Self {
+        self.dead_links.remove(&l);
+        self
+    }
+
+    /// Undo [`kill_switch`](FaultSet::kill_switch).
+    pub fn revive_switch(&mut self, s: SwitchId) -> &mut Self {
+        self.dead_switches.remove(&s);
+        self
+    }
+
+    /// Undo [`kill_host`](FaultSet::kill_host).
+    pub fn revive_host(&mut self, h: HostId) -> &mut Self {
+        self.dead_hosts.remove(&h);
+        self
+    }
+
     /// Merge another fault set into this one (faults accumulate).
     pub fn merge(&mut self, other: &FaultSet) {
         self.dead_links.extend(&other.dead_links);

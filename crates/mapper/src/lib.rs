@@ -32,7 +32,9 @@
 mod discovery;
 mod fault;
 mod managed;
+mod runtime;
 
 pub use discovery::{discover, DiscoveredNetwork, MapperError};
 pub use fault::FaultSet;
 pub use managed::{ManagedNetwork, ReconfigReport};
+pub use runtime::{rebuild_physical_routes, PhysicalRoutes};

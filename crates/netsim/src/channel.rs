@@ -44,6 +44,8 @@ pub struct Channel {
     ctl: Box<[u8]>,
     /// Data flits observed during the measurement window (utilization).
     pub busy_cycles: u64,
+    /// A dead channel drops every flit offered to it (cable fault).
+    dead: bool,
 }
 
 impl Channel {
@@ -56,6 +58,7 @@ impl Channel {
             data: vec![NO_PACKET; delay as usize].into_boxed_slice(),
             ctl: vec![CTL_NONE; delay as usize].into_boxed_slice(),
             busy_cycles: 0,
+            dead: false,
         }
     }
 
@@ -79,9 +82,14 @@ impl Channel {
     }
 
     /// Send one flit of `packet`; it will arrive `delay` cycles from now.
-    /// Must be called after `take_arrival` for the same cycle.
+    /// Must be called after `take_arrival` for the same cycle. A dead
+    /// channel silently eats the flit — the sender cannot tell (Myrinet
+    /// links carry no acknowledgement; loss is detected end-to-end).
     #[inline]
     pub fn send(&mut self, cycle: u64, packet: u32) {
+        if self.dead {
+            return;
+        }
         let s = self.slot(cycle);
         debug_assert_eq!(self.data[s], NO_PACKET, "channel slot collision");
         self.data[s] = packet;
@@ -97,9 +105,12 @@ impl Channel {
     }
 
     /// Emit a stop/go symbol towards the sender; arrives `delay` cycles
-    /// from now.
+    /// from now. Control symbols die with the cable too.
     #[inline]
     pub fn send_ctl(&mut self, cycle: u64, symbol: u8) {
+        if self.dead {
+            return;
+        }
         let s = self.slot(cycle);
         self.ctl[s] = symbol;
     }
@@ -112,6 +123,45 @@ impl Channel {
     /// Reset the utilization counter (start of the measurement window).
     pub fn reset_busy(&mut self) {
         self.busy_cycles = 0;
+    }
+
+    /// Kill the channel: every in-flight flit is lost. Returns the distinct
+    /// packet ids whose flits were destroyed (the victims' worms have been
+    /// truncated — the upstream state must be purged by the caller).
+    pub fn fail(&mut self) -> Vec<u32> {
+        self.dead = true;
+        let mut victims: Vec<u32> = self
+            .data
+            .iter()
+            .copied()
+            .filter(|&v| v != NO_PACKET)
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        self.data.fill(NO_PACKET);
+        self.ctl.fill(CTL_NONE);
+        victims
+    }
+
+    /// Drop every in-flight flit of one packet (its worm is being purged
+    /// after a fault elsewhere on its path).
+    pub fn purge(&mut self, pid: u32) {
+        for slot in self.data.iter_mut() {
+            if *slot == pid {
+                *slot = NO_PACKET;
+            }
+        }
+    }
+
+    /// Bring a repaired channel back into service, empty.
+    pub fn repair(&mut self) {
+        self.dead = false;
+        self.data.fill(NO_PACKET);
+        self.ctl.fill(CTL_NONE);
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 }
 
@@ -172,6 +222,29 @@ mod tests {
         let mut c = chan();
         c.send(10, 1);
         c.send(10, 2);
+    }
+
+    #[test]
+    fn fail_truncates_and_repair_restores() {
+        let mut c = chan();
+        c.send(0, 5);
+        c.send(1, 5);
+        c.send(2, 9);
+        c.send_ctl(2, CTL_STOP);
+        assert_eq!(c.fail(), vec![5, 9], "distinct in-flight victims");
+        assert!(c.is_dead());
+        assert!(!c.has_data_in_flight());
+        // A dead cable eats everything offered to it.
+        c.send(3, 11);
+        c.send_ctl(3, CTL_GO);
+        for cyc in 4..30 {
+            assert_eq!(c.take_arrival(cyc), None);
+            assert_eq!(c.take_ctl_arrival(cyc), CTL_NONE);
+        }
+        c.repair();
+        assert!(!c.is_dead());
+        c.send(30, 1);
+        assert_eq!(c.take_arrival(38), Some(1));
     }
 
     #[test]

@@ -66,6 +66,19 @@ pub struct SimConfig {
     /// Abort if no flit moves for this many cycles while packets are in
     /// flight — a deadlock would be a simulator or routing bug.
     pub watchdog_cycles: u64,
+    /// Source NICs retransmit packets lost to faults (the Myrinet control
+    /// program's end-to-end recovery). Off = lost packets are just dropped.
+    pub nic_retransmission: bool,
+    /// Send-timeout: cycles after the loss before the source retransmits.
+    pub retransmit_timeout_cycles: u64,
+    /// Per-packet retry budget; once exhausted the packet is dropped and
+    /// counted in `ReliabilityStats::dropped_packets`.
+    pub max_retransmits: u32,
+    /// Cycles between a fault and the re-mapped routing tables taking
+    /// effect (discovery + route distribution; sources stall meanwhile).
+    /// The default 16 000 cycles = 100 µs is optimistic but keeps the
+    /// degradation visible at simulation timescales.
+    pub reconfig_latency_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -87,6 +100,10 @@ impl Default for SimConfig {
             generation: GenerationProcess::Constant,
             source_queue_cap: 512,
             watchdog_cycles: 2_000_000,
+            nic_retransmission: true,
+            retransmit_timeout_cycles: 4_096,
+            max_retransmits: 16,
+            reconfig_latency_cycles: 16_000,
         }
     }
 }
@@ -109,6 +126,9 @@ impl SimConfig {
         }
         if self.mtu_flits == Some(0) {
             return Err("mtu_flits must be positive when set".into());
+        }
+        if self.retransmit_timeout_cycles == 0 {
+            return Err("retransmit_timeout_cycles must be positive".into());
         }
         // After STOP is emitted, up to 2*link_delay more flits may arrive
         // (flits in flight plus flits sent while STOP crosses the cable).

@@ -8,6 +8,7 @@ use regnet_topology::Topology;
 use regnet_traffic::{Pattern, PatternSpec};
 
 use crate::config::SimConfig;
+use crate::faultplan::{FaultOptions, ReliabilityStats};
 use crate::sim::{ChannelDesc, RunStats, Simulator};
 use crate::trace::{ChannelUtilSeries, TraceOptions, TraceReport};
 
@@ -25,6 +26,10 @@ pub struct RunOptions {
     /// costs nothing). Results come back through
     /// [`Experiment::run_traced`].
     pub trace: TraceOptions,
+    /// Fault schedule to inject (default: `None`, a fault-free run). The
+    /// dependability counters come back through
+    /// [`Experiment::run_reliability`].
+    pub faults: Option<FaultOptions>,
 }
 
 impl Default for RunOptions {
@@ -34,8 +39,51 @@ impl Default for RunOptions {
             measure_cycles: 300_000,
             seed: 1,
             trace: TraceOptions::default(),
+            faults: None,
         }
     }
+}
+
+/// Run `f(0..n)` on `threads` OS threads (1 = sequential) and return the
+/// results in index order. Work is handed out through a shared counter, so
+/// an expensive index does not stall the others; `f` must be deterministic
+/// per index for the output to be reproducible.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n) {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    mine.push((i, f(i)));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("par_map worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("missing par_map result"))
+        .collect()
 }
 
 /// Options for [`Experiment::find_throughput`].
@@ -125,6 +173,29 @@ impl Experiment {
     /// before warmup, so the trace digest covers the entire run — exactly
     /// what the determinism regression suite compares.
     pub fn run_traced(&self, offered: f64, opts: &RunOptions) -> (RunStats, Option<TraceReport>) {
+        let (stats, _, report) = self.run_reliability(offered, opts);
+        (stats, report)
+    }
+
+    /// Like [`run_traced`](Experiment::run_traced), plus the run's
+    /// [`ReliabilityStats`] — all zeros unless `opts.faults` schedules
+    /// something.
+    pub fn run_reliability(
+        &self,
+        offered: f64,
+        opts: &RunOptions,
+    ) -> (RunStats, ReliabilityStats, Option<TraceReport>) {
+        let mut sim = self.make_sim(offered, opts);
+        sim.run(opts.warmup_cycles);
+        sim.begin_measurement();
+        sim.run(opts.measure_cycles);
+        let stats = sim.end_measurement(opts.measure_cycles);
+        let rel = sim.reliability();
+        let report = sim.trace_report();
+        (stats, rel, report)
+    }
+
+    fn make_sim(&self, offered: f64, opts: &RunOptions) -> Simulator<'_> {
         let mut sim = Simulator::new(
             &self.topo,
             &self.db,
@@ -134,12 +205,10 @@ impl Experiment {
             opts.seed,
         );
         sim.enable_trace(opts.trace.clone());
-        sim.run(opts.warmup_cycles);
-        sim.begin_measurement();
-        sim.run(opts.measure_cycles);
-        let stats = sim.end_measurement(opts.measure_cycles);
-        let report = sim.trace_report();
-        (stats, report)
+        if let Some(faults) = &opts.faults {
+            sim.enable_faults(faults.clone());
+        }
+        sim
     }
 
     /// Run one offered-load point and summarise it as a [`CurvePoint`].
@@ -169,38 +238,8 @@ impl Experiment {
             self.scheme.label(),
             self.pattern.spec().label()
         ));
-        if threads <= 1 || loads.len() <= 1 {
-            for &l in loads {
-                curve.push(self.run_point(l, opts));
-            }
-            return curve;
-        }
-        let mut points: Vec<Option<CurvePoint>> = vec![None; loads.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads.min(loads.len()) {
-                let next = &next;
-                handles.push(scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= loads.len() {
-                            break;
-                        }
-                        mine.push((i, self.run_point(loads[i], opts)));
-                    }
-                    mine
-                }));
-            }
-            for h in handles {
-                for (i, p) in h.join().expect("sweep worker panicked") {
-                    points[i] = Some(p);
-                }
-            }
-        });
-        for p in points {
-            curve.push(p.expect("missing sweep point"));
+        for p in par_map(loads.len(), threads, |i| self.run_point(loads[i], opts)) {
+            curve.push(p);
         }
         curve
     }
@@ -236,14 +275,7 @@ impl Experiment {
         offered: f64,
         opts: &RunOptions,
     ) -> (UtilizationSummary, Vec<ChannelDesc>) {
-        let mut sim = Simulator::new(
-            &self.topo,
-            &self.db,
-            &self.pattern,
-            self.cfg.clone(),
-            offered,
-            opts.seed,
-        );
+        let mut sim = self.make_sim(offered, opts);
         let descs = sim.channel_descriptors();
         sim.run(opts.warmup_cycles);
         sim.begin_measurement();
@@ -277,16 +309,8 @@ impl Experiment {
         Vec<ChannelDesc>,
         Option<ChannelUtilSeries>,
     ) {
-        let mut sim = Simulator::new(
-            &self.topo,
-            &self.db,
-            &self.pattern,
-            self.cfg.clone(),
-            offered,
-            opts.seed,
-        );
+        let mut sim = self.make_sim(offered, opts);
         let descs = sim.channel_descriptors();
-        sim.enable_trace(opts.trace.clone());
         sim.run(opts.warmup_cycles);
         sim.begin_measurement();
         sim.run(opts.measure_cycles);

@@ -56,6 +56,7 @@ mod channel;
 pub mod collective;
 mod config;
 pub mod experiment;
+pub mod faultplan;
 mod nic;
 mod packet;
 mod sim;
@@ -63,7 +64,8 @@ mod switch;
 pub mod trace;
 pub mod wfg;
 
-pub use config::{GenerationProcess, SimConfig};
+pub use config::{GenerationProcess, SimConfig, CYCLE_NS};
+pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
 pub use sim::{ChannelDesc, RunStats, Simulator};
 pub use trace::{TraceOptions, TraceReport};
 pub use wfg::{StallClass, StallReport};

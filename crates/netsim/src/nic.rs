@@ -26,6 +26,18 @@ pub struct TxState {
     pub reinjection: bool,
 }
 
+/// What kind of transmission a [`Nic::pick_next_tx`] winner is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// A locally generated packet leaving for the first time.
+    Fresh,
+    /// An in-transit packet continuing its journey (holds pool space).
+    Reinject,
+    /// A source retransmission of a packet lost to a fault; restarts the
+    /// journey from segment 0.
+    Retransmit,
+}
+
 /// One host's network interface.
 #[derive(Debug)]
 pub struct Nic {
@@ -37,6 +49,8 @@ pub struct Nic {
     pub local_queue: VecDeque<u32>,
     /// In-transit packets with their re-injection ready cycle.
     pub reinject: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Source retransmissions keyed by the cycle the send-timeout fires.
+    pub retransmit: BinaryHeap<Reverse<(u64, u32)>>,
     pub tx: Option<TxState>,
     pub rx: Option<RxState>,
     /// In-transit buffer pool occupancy, flits.
@@ -58,6 +72,7 @@ impl Nic {
             stopped: false,
             local_queue: VecDeque::new(),
             reinject: BinaryHeap::new(),
+            retransmit: BinaryHeap::new(),
             tx: None,
             rx: None,
             pool_used: 0,
@@ -72,22 +87,30 @@ impl Nic {
     /// The paper's mechanism re-injects in-transit packets "as soon as
     /// possible"; with `itb_priority` they preempt locally queued messages,
     /// otherwise the NIC serves whichever became ready first.
-    pub fn pick_next_tx(&mut self, cycle: u64, itb_priority: bool) -> Option<(u32, bool)> {
-        let reinject_ready = self
-            .reinject
-            .peek()
-            .filter(|Reverse((ready, _))| *ready <= cycle)
-            .is_some();
+    /// Retransmissions slot in between: they carry already-late traffic, so
+    /// they outrank fresh injections, but never preempt in-transit packets
+    /// holding pool space.
+    pub fn pick_next_tx(&mut self, cycle: u64, itb_priority: bool) -> Option<(u32, TxKind)> {
+        let ready = |heap: &BinaryHeap<Reverse<(u64, u32)>>| {
+            heap.peek()
+                .filter(|Reverse((ready, _))| *ready <= cycle)
+                .is_some()
+        };
+        let reinject_ready = ready(&self.reinject);
         if reinject_ready && (itb_priority || self.local_queue.is_empty()) {
             let Reverse((_, pid)) = self.reinject.pop().unwrap();
-            return Some((pid, true));
+            return Some((pid, TxKind::Reinject));
+        }
+        if ready(&self.retransmit) {
+            let Reverse((_, pid)) = self.retransmit.pop().unwrap();
+            return Some((pid, TxKind::Retransmit));
         }
         if let Some(pid) = self.local_queue.pop_front() {
-            return Some((pid, false));
+            return Some((pid, TxKind::Fresh));
         }
         if reinject_ready {
             let Reverse((_, pid)) = self.reinject.pop().unwrap();
-            return Some((pid, true));
+            return Some((pid, TxKind::Reinject));
         }
         None
     }
@@ -98,6 +121,7 @@ impl Nic {
             && self.rx.is_none()
             && self.local_queue.is_empty()
             && self.reinject.is_empty()
+            && self.retransmit.is_empty()
             && self.scheduled.is_empty()
     }
 }
@@ -117,11 +141,11 @@ mod tests {
         n.local_queue.push_back(7);
         n.reinject.push(Reverse((10, 3)));
         // Not ready yet at cycle 5: local goes first.
-        assert_eq!(n.pick_next_tx(5, true), Some((7, false)));
+        assert_eq!(n.pick_next_tx(5, true), Some((7, TxKind::Fresh)));
         n.local_queue.push_back(8);
         // Ready at cycle 10: reinjection preempts.
-        assert_eq!(n.pick_next_tx(10, true), Some((3, true)));
-        assert_eq!(n.pick_next_tx(10, true), Some((8, false)));
+        assert_eq!(n.pick_next_tx(10, true), Some((3, TxKind::Reinject)));
+        assert_eq!(n.pick_next_tx(10, true), Some((8, TxKind::Fresh)));
         assert_eq!(n.pick_next_tx(10, true), None);
     }
 
@@ -130,8 +154,8 @@ mod tests {
         let mut n = nic();
         n.local_queue.push_back(7);
         n.reinject.push(Reverse((0, 3)));
-        assert_eq!(n.pick_next_tx(10, false), Some((7, false)));
-        assert_eq!(n.pick_next_tx(10, false), Some((3, true)));
+        assert_eq!(n.pick_next_tx(10, false), Some((7, TxKind::Fresh)));
+        assert_eq!(n.pick_next_tx(10, false), Some((3, TxKind::Reinject)));
     }
 
     #[test]
@@ -140,9 +164,26 @@ mod tests {
         n.reinject.push(Reverse((30, 1)));
         n.reinject.push(Reverse((10, 2)));
         n.reinject.push(Reverse((20, 3)));
-        assert_eq!(n.pick_next_tx(100, true), Some((2, true)));
-        assert_eq!(n.pick_next_tx(100, true), Some((3, true)));
-        assert_eq!(n.pick_next_tx(100, true), Some((1, true)));
+        assert_eq!(n.pick_next_tx(100, true), Some((2, TxKind::Reinject)));
+        assert_eq!(n.pick_next_tx(100, true), Some((3, TxKind::Reinject)));
+        assert_eq!(n.pick_next_tx(100, true), Some((1, TxKind::Reinject)));
+    }
+
+    #[test]
+    fn retransmit_outranks_fresh_but_not_reinjection() {
+        let mut n = nic();
+        n.local_queue.push_back(7);
+        n.retransmit.push(Reverse((10, 4)));
+        n.reinject.push(Reverse((10, 3)));
+        assert_eq!(n.pick_next_tx(10, true), Some((3, TxKind::Reinject)));
+        assert_eq!(n.pick_next_tx(10, true), Some((4, TxKind::Retransmit)));
+        assert_eq!(n.pick_next_tx(10, true), Some((7, TxKind::Fresh)));
+        // A retransmission whose timeout has not fired yet waits its turn.
+        n.retransmit.push(Reverse((50, 5)));
+        n.local_queue.push_back(8);
+        assert_eq!(n.pick_next_tx(20, true), Some((8, TxKind::Fresh)));
+        assert_eq!(n.pick_next_tx(20, true), None);
+        assert_eq!(n.pick_next_tx(50, true), Some((5, TxKind::Retransmit)));
     }
 
     #[test]
@@ -150,6 +191,9 @@ mod tests {
         let mut n = nic();
         assert!(n.is_idle());
         n.local_queue.push_back(1);
+        assert!(!n.is_idle());
+        n.local_queue.clear();
+        n.retransmit.push(Reverse((0, 1)));
         assert!(!n.is_idle());
     }
 }

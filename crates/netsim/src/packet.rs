@@ -27,6 +27,8 @@ pub struct Packet {
     /// Flits reserved in the in-transit pool of the NIC currently holding
     /// this packet (0 when it overflowed to host memory).
     pub pool_reserved: u32,
+    /// Source retransmissions performed for this packet so far.
+    pub retries: u32,
 }
 
 impl Packet {
@@ -135,6 +137,7 @@ mod tests {
             inject_cycle: 0,
             itbs_used: 0,
             pool_reserved: 0,
+            retries: 0,
         }
     }
 

@@ -15,18 +15,22 @@
 //! 5. **Generation** — hosts create new messages according to the offered
 //!    load.
 
+use std::cmp::Reverse;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use regnet_core::{PathSelector, RouteDb, SegmentEnd};
+use regnet_mapper::{rebuild_physical_routes, FaultSet, PhysicalRoutes};
 use regnet_metrics::{Histogram, RunningStats};
-use regnet_topology::{LinkEnd, NodeId, Topology};
+use regnet_topology::{HostId, LinkEnd, NodeId, SwitchId, Topology};
 use regnet_traffic::{interarrival_cycles, Pattern};
 
 use crate::channel::{Channel, Receiver, Sender, CTL_NONE, CTL_STOP};
 use crate::config::{GenerationProcess, SimConfig, CYCLE_NS};
-use crate::nic::{Nic, RxState, TxState};
+use crate::faultplan::{FaultEvent, FaultOptions, FaultRuntime, FaultTarget, ReliabilityStats};
+use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{Packet, PacketArena};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
 use crate::trace::{TraceOptions, TraceReport, TraceState};
@@ -99,6 +103,9 @@ struct MsgState {
     gen_cycle: u64,
     first_inject: u64,
     itbs: u16,
+    /// At least one packet of this message was dropped by a fault; the
+    /// message can never complete.
+    failed: bool,
 }
 
 /// Slab of in-flight messages.
@@ -150,6 +157,14 @@ pub struct Simulator<'a> {
     /// Telemetry observers; `None` (the default) keeps every hook in the
     /// hot path down to a single branch.
     trace: Option<Box<TraceState>>,
+    /// Fault-injection runtime; `None` (the default) keeps the fault hooks
+    /// in the hot path down to a single branch.
+    faults: Option<Box<FaultRuntime>>,
+    /// Directed channel indices per physical link (both directions).
+    link_chans: Vec<[u32; 2]>,
+    /// `stop_generation` was called: never restart generators, even when a
+    /// repaired host comes back.
+    gen_frozen: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -192,9 +207,12 @@ impl<'a> Simulator<'a> {
             },
             LinkEnd::Host { host } => Receiver::Nic { host: host.0 },
         };
+        let mut link_chans: Vec<[u32; 2]> = Vec::with_capacity(topo.num_links());
         for link in topo.links() {
-            for (s, r) in [(0, 1), (1, 0)] {
+            let mut pair = [u32::MAX; 2];
+            for (k, (s, r)) in [(0usize, 1usize), (1, 0)].into_iter().enumerate() {
                 let idx = channels.len() as u32;
+                pair[k] = idx;
                 let sender = end_sender(&link.ends[s]);
                 let receiver = end_receiver(&link.ends[r]);
                 channels.push(Channel::new(sender, receiver, cfg.link_delay_cycles));
@@ -211,6 +229,7 @@ impl<'a> Simulator<'a> {
                     Receiver::Nic { .. } => {}
                 }
             }
+            link_chans.push(pair);
         }
 
         let switches: Vec<SwitchState> = topo
@@ -275,7 +294,37 @@ impl<'a> Simulator<'a> {
             measure: Measure::default(),
             last_activity: 0,
             trace: None,
+            faults: None,
+            link_chans,
+            gen_frozen: false,
         }
+    }
+
+    /// Arm the fault-injection runtime with `opts` (see [`FaultOptions`]).
+    /// Call before running; events earlier than the current cycle fire
+    /// immediately on the next step.
+    pub fn enable_faults(&mut self, opts: FaultOptions) {
+        self.faults = Some(Box::new(FaultRuntime::new(opts, self.topo.num_hosts())));
+    }
+
+    /// Dependability counters so far; all zeros when faults were never
+    /// enabled.
+    pub fn reliability(&self) -> ReliabilityStats {
+        self.faults
+            .as_deref()
+            .map(|f| f.rel.clone())
+            .unwrap_or_default()
+    }
+
+    /// The routing tables installed by the last successful mid-run
+    /// reconfiguration, if any.
+    pub fn reconfigured_routes(&self) -> Option<&PhysicalRoutes> {
+        self.faults.as_deref().and_then(|f| f.routes.as_ref())
+    }
+
+    /// The faults currently in force, if fault injection is enabled.
+    pub fn active_faults(&self) -> Option<&FaultSet> {
+        self.faults.as_deref().map(|f| &f.active)
     }
 
     /// Enable the telemetry observers selected in `opts` (see
@@ -388,9 +437,19 @@ impl<'a> Simulator<'a> {
             delivered_packets: m.delivered_packets,
             delivered_payload_flits: m.delivered_payload_flits,
             generated: m.generated,
-            avg_latency_ns: m.latency.mean() * CYCLE_NS,
+            // An empty window reports 0.0, not NaN: RunStats must stay
+            // comparable with `==` (determinism suite) and serializable.
+            avg_latency_ns: if delivered > 0 {
+                m.latency.mean() * CYCLE_NS
+            } else {
+                0.0
+            },
             p99_latency_ns: m.hist.quantile(0.99) as f64 * CYCLE_NS,
-            avg_total_latency_ns: m.total_latency.mean() * CYCLE_NS,
+            avg_total_latency_ns: if delivered > 0 {
+                m.total_latency.mean() * CYCLE_NS
+            } else {
+                0.0
+            },
             avg_itbs_per_msg: if delivered > 0 {
                 m.itb_sum as f64 / delivered as f64
             } else {
@@ -408,6 +467,7 @@ impl<'a> Simulator<'a> {
     /// the network at the end of a run (every in-flight packet must then
     /// eventually be delivered — the no-deadlock invariant).
     pub fn stop_generation(&mut self) {
+        self.gen_frozen = true;
         for nic in &mut self.nics {
             nic.next_gen = f64::MAX;
         }
@@ -437,9 +497,10 @@ impl<'a> Simulator<'a> {
             }
             let _ = writeln!(
                 out,
-                "  nic {h}: q={} reinj={} tx={:?} rx={:?} stopped={} pool={}",
+                "  nic {h}: q={} reinj={} rtx={} tx={:?} rx={:?} stopped={} pool={}",
                 nic.local_queue.len(),
                 nic.reinject.len(),
+                nic.retransmit.len(),
                 nic.tx,
                 nic.rx,
                 nic.stopped,
@@ -480,6 +541,11 @@ impl<'a> Simulator<'a> {
     /// Advance one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+
+        // ---- Phase 0: fault events, loss handling, reconfiguration. ----
+        if self.faults.is_some() {
+            self.fault_phase(cycle);
+        }
 
         // ---- Phase 1: control-symbol arrivals flip sender flags. ----
         for i in 0..self.channels.len() {
@@ -586,6 +652,22 @@ impl<'a> Simulator<'a> {
     }
 
     fn switch_phase(&mut self, s: usize, cycle: u64) {
+        let faults_on = self.faults.is_some();
+        // A dead switch routes nothing (its resident packets were purged
+        // when it failed).
+        if faults_on
+            && !self
+                .faults
+                .as_deref()
+                .unwrap()
+                .active
+                .is_switch_alive(SwitchId(s as u32))
+        {
+            return;
+        }
+        // Packets routed into a failed output this cycle; their loss is
+        // handled after the port loops release the switch borrow.
+        let mut lost: Vec<u32> = Vec::new();
         let cfg = &self.cfg;
         let sw = &mut self.switches[s];
         let nports = sw.active_ports.len();
@@ -600,7 +682,8 @@ impl<'a> Simulator<'a> {
                     if let Some(head) = inp.queue.front_mut() {
                         if head.received >= 1 && !head.header_consumed {
                             head.header_consumed = true;
-                            let out = self.arena.get_mut(head.pid).consume_port_byte();
+                            let pid = head.pid;
+                            let out = self.arena.get_mut(pid).consume_port_byte();
                             inp.head_out = out;
                             inp.head = HeadState::Routing {
                                 ready: cycle + cfg.switch_routing_cycles as u64,
@@ -608,6 +691,19 @@ impl<'a> Simulator<'a> {
                             if let Some(ctl) = inp.on_flit_out(cfg) {
                                 let chan = inp.in_chan;
                                 self.channels[chan as usize].send_ctl(cycle, ctl);
+                            }
+                            if faults_on {
+                                // Routing towards a dead cable (or a port
+                                // that never existed in a stale route):
+                                // the worm is lost here.
+                                let dead_out =
+                                    match sw.outp.get(out as usize).and_then(|o| o.as_ref()) {
+                                        Some(o) => self.channels[o.out_chan as usize].is_dead(),
+                                        None => true,
+                                    };
+                                if dead_out {
+                                    lost.push(pid);
+                                }
                             }
                         }
                     }
@@ -659,6 +755,11 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             let out_chan = outp.out_chan;
+            if faults_on && self.channels[out_chan as usize].is_dead() {
+                // The granted head is already queued for loss handling;
+                // never stream flits into a dead cable.
+                continue;
+            }
             let inp = sw.inp[g as usize].as_mut().unwrap();
             let head = inp.queue.front_mut().expect("granted without head");
             if head.available() == 0 {
@@ -678,6 +779,10 @@ impl<'a> Simulator<'a> {
                 inp.head = HeadState::Idle;
                 sw.outp[p].as_mut().unwrap().conn_in = None;
             }
+        }
+
+        for pid in lost {
+            self.handle_loss(pid, cycle);
         }
     }
 
@@ -771,23 +876,32 @@ impl<'a> Simulator<'a> {
                     // is delivered (with mtu_flits = None this is every
                     // packet, the paper's model).
                     let ms = self.msgs.remove(pkt.msg);
-                    if self.measure.on {
-                        let m = &mut self.measure;
-                        m.delivered += 1;
-                        m.itb_sum += ms.itbs as u64;
-                        m.latency.push((cycle - ms.first_inject) as f64);
-                        m.hist.record(cycle - ms.first_inject);
-                        m.total_latency.push((cycle - ms.gen_cycle) as f64);
-                    }
-                    if let Some(tr) = &mut self.trace {
-                        tr.on_message_delivered(
-                            cycle,
-                            pkt.journey.src.0,
-                            pkt.journey.dst.0,
-                            pkt.payload as u64,
-                            ms.itbs as u64,
-                            ms.first_inject,
-                        );
+                    if ms.failed {
+                        // A sibling packet was dropped by a fault (only
+                        // possible with MTU segmentation): the message
+                        // never completes at the receiver.
+                        if let Some(f) = self.faults.as_deref_mut() {
+                            f.rel.dropped_messages += 1;
+                        }
+                    } else {
+                        if self.measure.on {
+                            let m = &mut self.measure;
+                            m.delivered += 1;
+                            m.itb_sum += ms.itbs as u64;
+                            m.latency.push((cycle - ms.first_inject) as f64);
+                            m.hist.record(cycle - ms.first_inject);
+                            m.total_latency.push((cycle - ms.gen_cycle) as f64);
+                        }
+                        if let Some(tr) = &mut self.trace {
+                            tr.on_message_delivered(
+                                cycle,
+                                pkt.journey.src.0,
+                                pkt.journey.dst.0,
+                                pkt.payload as u64,
+                                ms.itbs as u64,
+                                ms.first_inject,
+                            );
+                        }
                     }
                 }
             }
@@ -795,16 +909,55 @@ impl<'a> Simulator<'a> {
     }
 
     fn nic_tx(&mut self, h: usize, cycle: u64) {
+        if let Some(f) = self.faults.as_deref() {
+            // Sources freeze while the mapper redistributes routes; the
+            // transmission already in progress may finish.
+            if f.reconfig_due.is_some() && self.nics[h].tx.is_none() {
+                return;
+            }
+            // A NIC on a dead host link cannot move flits at all.
+            if self.channels[self.nics[h].out_chan as usize].is_dead() {
+                return;
+            }
+        }
         if self.nics[h].tx.is_none() {
             let itb_priority = self.cfg.itb_priority;
-            if let Some((pid, reinjection)) = self.nics[h].pick_next_tx(cycle, itb_priority) {
+            while let Some((pid, kind)) = self.nics[h].pick_next_tx(cycle, itb_priority) {
+                // Fresh and retransmitted packets route from scratch: under
+                // faults, re-validate the pair and — once a rebuild has
+                // been installed — re-select the journey from the current
+                // tables (in-transit packets keep their remaining route).
+                if kind != TxKind::Reinject {
+                    if let Some(f) = self.faults.as_deref() {
+                        let (src, dst) = {
+                            let p = self.arena.get(pid);
+                            (p.journey.src, p.journey.dst)
+                        };
+                        let db = f.routes.as_ref().map(|r| &r.db).unwrap_or(self.db);
+                        let routable = f.host_ok[src.idx()]
+                            && f.host_ok[dst.idx()]
+                            && db.has_route(self.topo.host_switch(src), self.topo.host_switch(dst));
+                        if !routable {
+                            self.drop_packet(pid);
+                            continue;
+                        }
+                        if f.routes.is_some() {
+                            let journey = db.select(self.topo, src, dst, &mut self.selector);
+                            let pkt = self.arena.get_mut(pid);
+                            pkt.journey = journey;
+                            pkt.seg = 0;
+                            pkt.hop = 0;
+                        }
+                    }
+                }
                 let total = self.arena.get(pid).wire_len_current_segment();
                 self.nics[h].tx = Some(TxState {
                     pid,
                     sent: 0,
                     total,
-                    reinjection,
+                    reinjection: kind == TxKind::Reinject,
                 });
+                break;
             }
         }
         let nic = &mut self.nics[h];
@@ -918,12 +1071,19 @@ impl<'a> Simulator<'a> {
             gen_cycle,
             first_inject: u64::MAX,
             itbs: 0,
+            failed: false,
         });
         let mut left = payload_total;
         while left > 0 {
             let chunk = left.min(mtu);
             left -= chunk;
-            let journey = self.db.select(self.topo, src, dst, &mut self.selector);
+            let db = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.routes.as_ref())
+                .map(|r| &r.db)
+                .unwrap_or(self.db);
+            let journey = db.select(self.topo, src, dst, &mut self.selector);
             let pkt = Packet {
                 msg: midx,
                 journey,
@@ -933,6 +1093,7 @@ impl<'a> Simulator<'a> {
                 inject_cycle: u64::MAX,
                 itbs_used: 0,
                 pool_reserved: 0,
+                retries: 0,
             };
             let pid = self.arena.insert(pkt);
             self.nics[src.idx()].local_queue.push_back(pid);
@@ -943,6 +1104,13 @@ impl<'a> Simulator<'a> {
     }
 
     fn nic_gen(&mut self, h: usize, cycle: u64) {
+        if let Some(f) = self.faults.as_deref() {
+            // Dead or unreachable hosts generate nothing (their backlog was
+            // stranded when they went down).
+            if !f.host_ok[h] {
+                return;
+            }
+        }
         // Explicitly scheduled messages first.
         while let Some(&(at, dst)) = self.nics[h].scheduled.front() {
             if at > cycle {
@@ -982,7 +1150,473 @@ impl<'a> Simulator<'a> {
                 self.nics[h].next_gen = f64::MAX;
                 return;
             };
+            let unreachable = match self.faults.as_deref() {
+                Some(f) => {
+                    let db = f.routes.as_ref().map(|r| &r.db).unwrap_or(self.db);
+                    !f.host_ok[dst.idx()]
+                        || !db.has_route(self.topo.host_switch(src), self.topo.host_switch(dst))
+                }
+                None => false,
+            };
+            if unreachable {
+                // The pair cannot communicate right now: the message is
+                // refused at the API (the generation clock still advances).
+                self.faults.as_deref_mut().unwrap().rel.unreachable_drops += 1;
+                continue;
+            }
             self.create_message(src, dst, gen_cycle);
+        }
+    }
+
+    // ---- Fault machinery (phase 0). ----
+
+    /// Apply every fault event due at `cycle`, purge the truncated worms,
+    /// and drive the pending reconfiguration if one is in flight.
+    fn fault_phase(&mut self, cycle: u64) {
+        let mut victims: Vec<u32> = Vec::new();
+        let mut applied = false;
+        loop {
+            let f = self.faults.as_deref().unwrap();
+            let Some(&ev) = f.events.get(f.next_event) else {
+                break;
+            };
+            if ev.cycle > cycle {
+                break;
+            }
+            self.faults.as_deref_mut().unwrap().next_event += 1;
+            self.apply_fault_event(ev, &mut victims);
+            applied = true;
+        }
+        if applied {
+            self.sync_channels_to_faults(&mut victims);
+            victims.sort_unstable();
+            victims.dedup();
+            for pid in victims {
+                self.handle_loss(pid, cycle);
+            }
+            if self.faults.as_deref().unwrap().reconfigure {
+                // The management process re-maps the network; the new
+                // tables take effect after the reconfiguration latency.
+                self.faults.as_deref_mut().unwrap().reconfig_due =
+                    Some(cycle + self.cfg.reconfig_latency_cycles);
+            } else {
+                self.refresh_direct_host_ok(cycle);
+            }
+        }
+        match self.faults.as_deref().unwrap().reconfig_due {
+            Some(due) if cycle >= due => self.complete_reconfiguration(cycle),
+            Some(_) => {
+                self.faults
+                    .as_deref_mut()
+                    .unwrap()
+                    .rel
+                    .reconfig_stall_cycles += 1
+            }
+            None => {}
+        }
+    }
+
+    fn apply_fault_event(&mut self, ev: FaultEvent, victims: &mut Vec<u32>) {
+        let f = self.faults.as_deref_mut().unwrap();
+        match (ev.target, ev.fail) {
+            (FaultTarget::Link(l), true) => {
+                f.active.kill_link(l);
+                f.rel.link_failures += 1;
+            }
+            (FaultTarget::Link(l), false) => {
+                f.active.revive_link(l);
+                f.rel.repairs += 1;
+            }
+            (FaultTarget::Switch(s), true) => {
+                f.active.kill_switch(s);
+                f.rel.switch_failures += 1;
+            }
+            (FaultTarget::Switch(s), false) => {
+                f.active.revive_switch(s);
+                f.rel.repairs += 1;
+            }
+            (FaultTarget::Host(h), true) => {
+                f.active.kill_host(h);
+                f.rel.host_failures += 1;
+                f.host_up[h.idx()] = false;
+                f.host_ok[h.idx()] = false;
+                self.kill_host_nic(h.idx(), victims);
+            }
+            (FaultTarget::Host(h), false) => {
+                f.active.revive_host(h);
+                f.rel.repairs += 1;
+                // Powered back on; reachability (and generation restart)
+                // is decided when host_ok is next refreshed.
+                f.host_up[h.idx()] = true;
+            }
+        }
+    }
+
+    /// A host died: everything its NIC holds is lost, and it generates
+    /// nothing until repaired.
+    fn kill_host_nic(&mut self, h: usize, victims: &mut Vec<u32>) {
+        let nic = &mut self.nics[h];
+        nic.next_gen = f64::MAX;
+        nic.scheduled.clear();
+        nic.stopped = false;
+        if let Some(tx) = nic.tx {
+            victims.push(tx.pid);
+        }
+        if let Some(rx) = nic.rx {
+            victims.push(rx.pid);
+        }
+        victims.extend(nic.local_queue.iter().copied());
+        victims.extend(nic.reinject.iter().map(|&Reverse((_, pid))| pid));
+        victims.extend(nic.retransmit.iter().map(|&Reverse((_, pid))| pid));
+    }
+
+    /// Bring every channel's dead/alive state in line with the active fault
+    /// set (a dead switch or host implicitly kills its cables), collecting
+    /// the packets truncated in the process.
+    fn sync_channels_to_faults(&mut self, victims: &mut Vec<u32>) {
+        for i in 0..self.topo.num_links() {
+            let lid = self.topo.links()[i].id;
+            let alive = self
+                .faults
+                .as_deref()
+                .unwrap()
+                .active
+                .is_link_alive(self.topo, lid);
+            let pair = self.link_chans[i];
+            for ci in pair {
+                let ci = ci as usize;
+                if !alive && !self.channels[ci].is_dead() {
+                    let mut v = self.fail_channel(ci);
+                    victims.append(&mut v);
+                } else if alive && self.channels[ci].is_dead() {
+                    self.repair_channel(ci);
+                }
+            }
+        }
+        // Packets resident in a freshly dead switch's buffers die with it.
+        for s in 0..self.switches.len() {
+            if self
+                .faults
+                .as_deref()
+                .unwrap()
+                .active
+                .is_switch_alive(SwitchId(s as u32))
+            {
+                continue;
+            }
+            for inp in self.switches[s].inp.iter().flatten() {
+                victims.extend(inp.queue.iter().map(|q| q.pid));
+            }
+        }
+    }
+
+    /// Kill one directed channel: flits in flight are destroyed, and the
+    /// worms cut at either end of the cable are victims too.
+    fn fail_channel(&mut self, ci: usize) -> Vec<u32> {
+        let mut victims = self.channels[ci].fail();
+        match self.channels[ci].receiver {
+            Receiver::SwitchIn { sw, port } => {
+                // A partially received packet can never get its tail.
+                if let Some(inp) = self.switches[sw as usize].inp[port as usize].as_ref() {
+                    if let Some(back) = inp.queue.back() {
+                        if back.received < back.expected {
+                            victims.push(back.pid);
+                        }
+                    }
+                }
+            }
+            Receiver::Nic { host } => {
+                if let Some(rx) = self.nics[host as usize].rx {
+                    victims.push(rx.pid);
+                }
+            }
+        }
+        match self.channels[ci].sender {
+            Sender::SwitchOut { sw, port } => {
+                // Any head routed towards this output loses its worm: flits
+                // already sent are gone and the remainder can never follow.
+                for inp in self.switches[sw as usize].inp.iter().flatten() {
+                    if inp.head != HeadState::Idle && inp.head_out == port {
+                        if let Some(head) = inp.queue.front() {
+                            victims.push(head.pid);
+                        }
+                    }
+                }
+            }
+            Sender::Nic { host } => {
+                if let Some(tx) = self.nics[host as usize].tx {
+                    victims.push(tx.pid);
+                }
+            }
+        }
+        victims
+    }
+
+    /// Bring a repaired channel back and re-sync the sender's stop/go flag
+    /// with the receiver's current state (control symbols in flight died
+    /// with the cable; without the re-sync a stale STOP wedges the link).
+    fn repair_channel(&mut self, ci: usize) {
+        self.channels[ci].repair();
+        let stopped = match self.channels[ci].receiver {
+            Receiver::SwitchIn { sw, port } => self.switches[sw as usize].inp[port as usize]
+                .as_ref()
+                .map(|p| p.stop_sent)
+                .unwrap_or(false),
+            Receiver::Nic { .. } => false,
+        };
+        match self.channels[ci].sender {
+            Sender::SwitchOut { sw, port } => {
+                if let Some(o) = self.switches[sw as usize].outp[port as usize].as_mut() {
+                    o.stopped = stopped;
+                }
+            }
+            Sender::Nic { host } => self.nics[host as usize].stopped = stopped,
+        }
+    }
+
+    /// Recompute host_ok straight from the fault set (no mapper): a host is
+    /// ok iff it is powered on and its own access path is alive. Used when
+    /// reconfiguration is disabled or failed.
+    fn refresh_direct_host_ok(&mut self, cycle: u64) {
+        let new_ok: Vec<bool> = {
+            let f = self.faults.as_deref().unwrap();
+            self.topo
+                .hosts()
+                .map(|h| f.host_up[h.idx()] && f.active.is_host_alive(self.topo, h))
+                .collect()
+        };
+        self.apply_host_ok(new_ok, cycle);
+    }
+
+    /// Install a new host_ok vector, reacting to the edges: a host coming
+    /// back restarts its generator; a host dropping out strands the traffic
+    /// queued at its NIC.
+    fn apply_host_ok(&mut self, new_ok: Vec<bool>, cycle: u64) {
+        let n = new_ok.len();
+        for (h, &ok) in new_ok.iter().enumerate() {
+            let old = self.faults.as_deref().unwrap().host_ok[h];
+            if old == ok {
+                continue;
+            }
+            self.faults.as_deref_mut().unwrap().host_ok[h] = ok;
+            if ok {
+                self.restart_generation(h, cycle);
+            } else {
+                self.strand_host_traffic(h, cycle);
+            }
+        }
+        let f = self.faults.as_deref_mut().unwrap();
+        let live = f.host_ok.iter().filter(|&&ok| ok).count() as u64;
+        let total = n as u64;
+        f.rel.unreachable_pairs = total * (total - 1) - live * (live - 1);
+    }
+
+    /// A repaired (or re-connected) host resumes generating with a fresh
+    /// random phase — no burst to catch up on the downtime.
+    fn restart_generation(&mut self, h: usize, cycle: u64) {
+        if self.gen_frozen || !self.pattern.host_generates(HostId(h as u32)) {
+            return;
+        }
+        let nic = &mut self.nics[h];
+        nic.next_gen = cycle as f64 + nic.rng.gen::<f64>() * self.interarrival;
+    }
+
+    /// A host became unreachable (but may still be powered on): everything
+    /// queued at its NIC can no longer leave; treat it as lost so sources
+    /// elsewhere can retransmit and the network still drains.
+    fn strand_host_traffic(&mut self, h: usize, cycle: u64) {
+        let mut victims: Vec<u32> = Vec::new();
+        let nic = &self.nics[h];
+        if let Some(tx) = nic.tx {
+            victims.push(tx.pid);
+        }
+        victims.extend(nic.local_queue.iter().copied());
+        victims.extend(nic.reinject.iter().map(|&Reverse((_, pid))| pid));
+        victims.extend(nic.retransmit.iter().map(|&Reverse((_, pid))| pid));
+        victims.sort_unstable();
+        victims.dedup();
+        for pid in victims {
+            self.handle_loss(pid, cycle);
+        }
+    }
+
+    /// The reconfiguration latency elapsed: run the mapper on the surviving
+    /// network and swap the rebuilt tables in atomically.
+    fn complete_reconfiguration(&mut self, cycle: u64) {
+        let scheme = self.db.scheme();
+        let (seed_host, db_cfg) = {
+            let f = self.faults.as_deref_mut().unwrap();
+            f.reconfig_due = None;
+            (f.seed_host, f.db_cfg.clone())
+        };
+        let rebuilt = {
+            let f = self.faults.as_deref().unwrap();
+            let seed = if f.host_up[seed_host.idx()] && f.active.is_host_alive(self.topo, seed_host)
+            {
+                Some(seed_host)
+            } else {
+                // The management host itself is down: the lowest-numbered
+                // live host takes over.
+                self.topo
+                    .hosts()
+                    .find(|&h| f.host_up[h.idx()] && f.active.is_host_alive(self.topo, h))
+            };
+            seed.and_then(|s| {
+                rebuild_physical_routes(self.topo, &f.active, s, scheme, &db_cfg).ok()
+            })
+        };
+        match rebuilt {
+            Some(pr) => {
+                let new_ok: Vec<bool> = {
+                    let f = self.faults.as_deref().unwrap();
+                    (0..self.topo.num_hosts())
+                        .map(|h| f.host_up[h] && pr.reachable_hosts[h])
+                        .collect()
+                };
+                let f = self.faults.as_deref_mut().unwrap();
+                f.rel.reconfigurations += 1;
+                f.routes = Some(pr);
+                self.apply_host_ok(new_ok, cycle);
+            }
+            None => {
+                self.faults.as_deref_mut().unwrap().rel.reconfig_failures += 1;
+                self.refresh_direct_host_ok(cycle);
+            }
+        }
+    }
+
+    /// A packet's worm was truncated somewhere: purge every remaining trace
+    /// of it, then either queue a source retransmission or drop it for good.
+    fn handle_loss(&mut self, pid: u32, cycle: u64) {
+        self.purge_packet(pid, cycle);
+        self.faults.as_deref_mut().unwrap().rel.worms_truncated += 1;
+        let (src, retries) = {
+            let p = self.arena.get(pid);
+            (p.journey.src, p.retries)
+        };
+        let can_retry = self.cfg.nic_retransmission
+            && retries < self.cfg.max_retransmits
+            && self.faults.as_deref().unwrap().host_ok[src.idx()];
+        if can_retry {
+            let pkt = self.arena.get_mut(pid);
+            pkt.retries += 1;
+            pkt.seg = 0;
+            pkt.hop = 0;
+            pkt.itbs_used = 0;
+            pkt.inject_cycle = u64::MAX;
+            self.nics[src.idx()]
+                .retransmit
+                .push(Reverse((cycle + self.cfg.retransmit_timeout_cycles, pid)));
+            self.faults.as_deref_mut().unwrap().rel.retransmissions += 1;
+        } else {
+            self.drop_packet(pid);
+        }
+    }
+
+    /// Give up on a packet: its message can never complete.
+    fn drop_packet(&mut self, pid: u32) {
+        let pkt = self.arena.remove(pid);
+        let ms = self.msgs.get_mut(pkt.msg);
+        ms.remaining -= 1;
+        ms.failed = true;
+        let done = ms.remaining == 0;
+        if done {
+            self.msgs.remove(pkt.msg);
+        }
+        let f = self.faults.as_deref_mut().unwrap();
+        f.rel.dropped_packets += 1;
+        if done {
+            f.rel.dropped_messages += 1;
+        }
+    }
+
+    /// Remove every trace of `pid` from the fabric — channels, switch input
+    /// buffers (with flow-control accounting), crossbar connections and NIC
+    /// queues — leaving the packet itself in the arena for the caller.
+    fn purge_packet(&mut self, pid: u32, cycle: u64) {
+        for ch in &mut self.channels {
+            ch.purge(pid);
+        }
+        for s in 0..self.switches.len() {
+            let nports = self.switches[s].active_ports.len();
+            for k in 0..nports {
+                let p = self.switches[s].active_ports[k] as usize;
+                let Some(inp) = self.switches[s].inp[p].as_mut() else {
+                    continue;
+                };
+                let Some(pos) = inp.queue.iter().position(|q| q.pid == pid) else {
+                    continue;
+                };
+                let entry = inp.queue.remove(pos).unwrap();
+                let flits = entry.available() as u16;
+                let mut clear_out: Option<u8> = None;
+                if pos == 0 && inp.head != HeadState::Idle {
+                    if inp.head == HeadState::Granted {
+                        clear_out = Some(inp.head_out);
+                    }
+                    inp.head = HeadState::Idle;
+                }
+                let ctl = if flits > 0 {
+                    inp.on_flits_purged(flits, &self.cfg)
+                } else {
+                    None
+                };
+                let in_chan = inp.in_chan;
+                if let Some(sym) = ctl {
+                    self.channels[in_chan as usize].send_ctl(cycle, sym);
+                }
+                if let Some(po) = clear_out {
+                    if let Some(o) = self.switches[s].outp[po as usize].as_mut() {
+                        if o.conn_in == Some(p as u8) {
+                            o.conn_in = None;
+                        }
+                    }
+                }
+            }
+        }
+        for h in 0..self.nics.len() {
+            let mut release = false;
+            {
+                let nic = &mut self.nics[h];
+                if let Some(tx) = nic.tx {
+                    if tx.pid == pid {
+                        release = tx.reinjection;
+                        nic.tx = None;
+                    }
+                }
+                if let Some(rx) = nic.rx {
+                    if rx.pid == pid {
+                        nic.rx = None;
+                    }
+                }
+                nic.local_queue.retain(|&q| q != pid);
+                if nic.reinject.iter().any(|&Reverse((_, q))| q == pid) {
+                    release = true;
+                    let kept: Vec<_> = nic
+                        .reinject
+                        .drain()
+                        .filter(|&Reverse((_, q))| q != pid)
+                        .collect();
+                    nic.reinject = kept.into_iter().collect();
+                }
+                if nic.retransmit.iter().any(|&Reverse((_, q))| q == pid) {
+                    let kept: Vec<_> = nic
+                        .retransmit
+                        .drain()
+                        .filter(|&Reverse((_, q))| q != pid)
+                        .collect();
+                    nic.retransmit = kept.into_iter().collect();
+                }
+            }
+            if release {
+                // The packet held in-transit pool space at this NIC.
+                let pkt = self.arena.get_mut(pid);
+                if pkt.pool_reserved > 0 {
+                    self.nics[h].pool_used =
+                        self.nics[h].pool_used.saturating_sub(pkt.pool_reserved);
+                    pkt.pool_reserved = 0;
+                }
+            }
         }
     }
 }

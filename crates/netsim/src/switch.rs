@@ -107,6 +107,19 @@ impl InPort {
             None
         }
     }
+
+    /// Remove `flits` buffered flits at once (a packet purged after a
+    /// fault); returns `Some(CTL_GO)` when the GO threshold is crossed.
+    pub fn on_flits_purged(&mut self, flits: u16, cfg: &SimConfig) -> Option<u8> {
+        debug_assert!(self.occ >= flits);
+        self.occ -= flits;
+        if self.occ < cfg.go_threshold && self.stop_sent {
+            self.stop_sent = false;
+            Some(CTL_GO)
+        } else {
+            None
+        }
+    }
 }
 
 /// One switch output port.

@@ -38,6 +38,9 @@ pub struct TraceOptions {
     pub itb_occupancy_interval: Option<u64>,
     /// Fold delivered-message events into a stable digest.
     pub digest: bool,
+    /// Bucket delivered payload flits every this many cycles (goodput time
+    /// series; shows the dip and recovery around a fault).
+    pub goodput_interval: Option<u64>,
 }
 
 impl TraceOptions {
@@ -47,6 +50,7 @@ impl TraceOptions {
             || self.packet_lifetimes
             || self.itb_occupancy_interval.is_some()
             || self.digest
+            || self.goodput_interval.is_some()
     }
 
     /// Only the determinism digest (cheapest useful observer).
@@ -66,6 +70,7 @@ impl TraceOptions {
             packet_lifetimes: true,
             itb_occupancy_interval: Some(interval),
             digest: true,
+            goodput_interval: Some(interval),
         }
     }
 }
@@ -87,6 +92,15 @@ pub struct OccupancySeries {
     pub interval: u64,
     pub samples: Vec<u64>,
     pub max: u64,
+}
+
+/// Delivered payload flits per bucket of `interval` cycles. Divide by
+/// `interval` for goodput in flits/cycle; a fault shows up as a dip, the
+/// reconfiguration as the recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoodputSeries {
+    pub interval: u64,
+    pub samples: Vec<u64>,
 }
 
 /// Quantile summary of one histogramed latency population (cycles).
@@ -119,6 +133,7 @@ pub struct TraceReport {
     pub digest_events: u64,
     pub channel_util: Option<ChannelUtilSeries>,
     pub itb_occupancy: Option<OccupancySeries>,
+    pub goodput: Option<GoodputSeries>,
     /// Injection → delivery, per message.
     pub lifetime: Option<LatencySummary>,
     /// ITB ejection → re-injection start, per in-transit hop.
@@ -141,6 +156,10 @@ pub(crate) struct TraceState {
     occ_next_sample: u64,
     occ_samples: Vec<u64>,
     occ_max: u64,
+    // Goodput series.
+    goodput_next_flush: u64,
+    goodput_acc: u64,
+    goodput_samples: Vec<u64>,
     // Latency histograms.
     lifetime: Histogram,
     reinject: Histogram,
@@ -170,6 +189,9 @@ impl TraceState {
             occ_next_sample: opts.itb_occupancy_interval.unwrap_or(u64::MAX),
             occ_samples: Vec::new(),
             occ_max: 0,
+            goodput_next_flush: opts.goodput_interval.unwrap_or(u64::MAX),
+            goodput_acc: 0,
+            goodput_samples: Vec::new(),
             lifetime: Histogram::new(),
             reinject: Histogram::new(),
             reinject_pending: std::collections::HashMap::new(),
@@ -209,6 +231,9 @@ impl TraceState {
         }
         if self.opts.packet_lifetimes && inject_cycle != u64::MAX && cycle >= inject_cycle {
             self.lifetime.record(cycle - inject_cycle);
+        }
+        if self.opts.goodput_interval.is_some() {
+            self.goodput_acc += payload_flits;
         }
     }
 
@@ -251,6 +276,13 @@ impl TraceState {
                 .occ_next_sample
                 .saturating_add(self.opts.itb_occupancy_interval.unwrap_or(u64::MAX));
         }
+        if cycle + 1 >= self.goodput_next_flush {
+            self.goodput_samples.push(self.goodput_acc);
+            self.goodput_acc = 0;
+            self.goodput_next_flush = self
+                .goodput_next_flush
+                .saturating_add(self.opts.goodput_interval.unwrap_or(u64::MAX));
+        }
     }
 
     /// The measurement window restarted and channel busy counters were
@@ -282,6 +314,10 @@ impl TraceState {
                     samples: self.occ_samples.clone(),
                     max: self.occ_max,
                 }),
+            goodput: self.opts.goodput_interval.map(|interval| GoodputSeries {
+                interval,
+                samples: self.goodput_samples.clone(),
+            }),
             lifetime: self
                 .opts
                 .packet_lifetimes
@@ -349,7 +385,31 @@ mod tests {
         let r = t.report();
         assert!(r.channel_util.is_none());
         assert!(r.itb_occupancy.is_none());
+        assert!(r.goodput.is_none());
         assert!(r.lifetime.is_none());
         assert!(r.digest.is_some());
+    }
+
+    #[test]
+    fn goodput_buckets_delivered_payload() {
+        let mut t = TraceState::new(
+            TraceOptions {
+                goodput_interval: Some(100),
+                ..TraceOptions::default()
+            },
+            0,
+        );
+        for c in 0..250u64 {
+            if c == 10 || c == 50 {
+                t.on_message_delivered(c, 0, 1, 64, 0, 5);
+            }
+            if c == 150 {
+                t.on_message_delivered(c, 2, 3, 32, 0, 5);
+            }
+            t.on_cycle_end(c, &[], &[]);
+        }
+        let g = t.report().goodput.unwrap();
+        assert_eq!(g.interval, 100);
+        assert_eq!(g.samples, vec![128, 32]);
     }
 }

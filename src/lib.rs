@@ -66,11 +66,12 @@ pub mod prelude {
         split_minimal_path, ItbHostPicker, Journey, JourneyTemplate, RouteDb, RouteDbConfig,
         RoutingScheme, Segment, SegmentEnd,
     };
+    pub use regnet_mapper::{rebuild_physical_routes, FaultSet, PhysicalRoutes};
     pub use regnet_metrics::{Curve, CurvePoint, UtilizationSummary};
-    pub use regnet_netsim::experiment::{Experiment, RunOptions, ThroughputSearch};
+    pub use regnet_netsim::experiment::{par_map, Experiment, RunOptions, ThroughputSearch};
     pub use regnet_netsim::{
-        GenerationProcess, RunStats, SimConfig, Simulator, StallClass, StallReport, TraceOptions,
-        TraceReport,
+        FaultEvent, FaultOptions, FaultPlan, FaultTarget, GenerationProcess, ReliabilityStats,
+        RunStats, SimConfig, Simulator, StallClass, StallReport, TraceOptions, TraceReport,
     };
     pub use regnet_routing::{LegalDistances, SwitchPath};
     pub use regnet_topology::{

@@ -1,9 +1,10 @@
 //! Determinism regression suite: a run is a pure function of
-//! (topology, routing scheme, pattern, config, seed). Re-running with the
-//! same seed must reproduce the measurement statistics *and* the trace
-//! digest — a stable hash folded over every delivered-message event in
-//! order, so it catches reorderings that happen to leave the aggregate
-//! statistics unchanged.
+//! (topology, routing scheme, pattern, config, seed, fault plan).
+//! Re-running with the same seed must reproduce the measurement statistics
+//! *and* the trace digest — a stable hash folded over every
+//! delivered-message event in order, so it catches reorderings that happen
+//! to leave the aggregate statistics unchanged. With a fault plan the
+//! ReliabilityStats must reproduce too.
 
 use regnet::prelude::*;
 
@@ -13,6 +14,7 @@ fn opts(seed: u64) -> RunOptions {
         measure_cycles: 10_000,
         seed,
         trace: TraceOptions::digest_only(),
+        ..RunOptions::default()
     }
 }
 
@@ -123,4 +125,137 @@ fn different_seeds_give_different_digests() {
     let (_, d1, _) = run_once(torus(), RoutingScheme::ItbRr, 1);
     let (_, d2, _) = run_once(torus(), RoutingScheme::ItbRr, 2);
     assert_ne!(d1, d2);
+}
+
+// ---- Faults are part of the run's identity. ----
+
+fn faulted_plan(topo: &Topology) -> FaultPlan {
+    let l = topo
+        .links()
+        .iter()
+        .find(|l| l.is_switch_link())
+        .expect("switch link")
+        .id;
+    let mut plan = FaultPlan::single_link(l, 4_000);
+    plan.repair_link(9_000, l);
+    plan
+}
+
+fn run_faulted(
+    topo: Topology,
+    scheme: RoutingScheme,
+    seed: u64,
+) -> (RunStats, ReliabilityStats, u64, u64) {
+    let plan = faulted_plan(&topo);
+    let cfg = SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        topo,
+        scheme,
+        RouteDbConfig::default(),
+        PatternSpec::Uniform,
+        cfg,
+    )
+    .unwrap();
+    let run_opts = RunOptions {
+        faults: Some(FaultOptions::with_plan(plan)),
+        ..opts(seed)
+    };
+    let (stats, rel, trace) = exp.run_reliability(0.01, &run_opts);
+    let trace = trace.expect("digest observer was enabled");
+    (
+        stats,
+        rel,
+        trace.digest.expect("digest recorded"),
+        trace.digest_events,
+    )
+}
+
+fn assert_faulted_deterministic(build: fn() -> Topology, scheme: RoutingScheme) {
+    let (s1, r1, d1, n1) = run_faulted(build(), scheme, 42);
+    let (s2, r2, d2, n2) = run_faulted(build(), scheme, 42);
+    assert_eq!(s1, s2, "RunStats diverged under faults ({scheme:?})");
+    assert_eq!(
+        r1, r2,
+        "ReliabilityStats diverged under faults ({scheme:?})"
+    );
+    assert_eq!(
+        (d1, n1),
+        (d2, n2),
+        "trace digest diverged under faults ({scheme:?})"
+    );
+    assert!(
+        r1.link_failures == 1 && r1.repairs == 1,
+        "the plan must have fired: {r1:?}"
+    );
+    assert!(n1 > 0, "expected deliveries during the window");
+}
+
+#[test]
+fn faulted_torus_updown_is_deterministic() {
+    assert_faulted_deterministic(torus, RoutingScheme::UpDown);
+}
+
+#[test]
+fn faulted_torus_itb_sp_is_deterministic() {
+    assert_faulted_deterministic(torus, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn faulted_torus_itb_rr_is_deterministic() {
+    assert_faulted_deterministic(torus, RoutingScheme::ItbRr);
+}
+
+/// An MTBF-drawn plan is deterministic end to end as well: plan generation
+/// and plan execution both reproduce.
+#[test]
+fn faulted_mtbf_plan_is_deterministic() {
+    let run = || {
+        let topo = cplant();
+        let links: Vec<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| l.is_switch_link())
+            .map(|l| l.id)
+            .take(8)
+            .collect();
+        let plan = FaultPlan::mtbf_links(&links, 12_000, 20_000.0, 4_000.0, 7);
+        // A short reconfiguration outage keeps traffic flowing between the
+        // densely-packed MTBF faults, so the digest covers real deliveries.
+        let cfg = SimConfig {
+            payload_flits: 64,
+            reconfig_latency_cycles: 1_000,
+            ..SimConfig::default()
+        };
+        let exp = Experiment::new(
+            topo,
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg,
+        )
+        .unwrap();
+        let run_opts = RunOptions {
+            faults: Some(FaultOptions::with_plan(plan)),
+            ..opts(11)
+        };
+        exp.run_reliability(0.01, &run_opts)
+    };
+    let (s1, r1, t1) = run();
+    let (s2, r2, t2) = run();
+    assert_eq!(s1, s2);
+    assert_eq!(r1, r2);
+    assert!(r1.link_failures > 0, "the MTBF plan must fire: {r1:?}");
+    let (t1, t2) = (t1.unwrap(), t2.unwrap());
+    assert!(
+        t1.digest_events > 0,
+        "expected deliveries during the window"
+    );
+    assert_eq!(
+        (t1.digest, t1.digest_events),
+        (t2.digest, t2.digest_events),
+        "digest diverged under an MTBF plan"
+    );
 }
