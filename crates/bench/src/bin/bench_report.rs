@@ -1,0 +1,287 @@
+//! Engine bench pipeline with perf-regression guard.
+//!
+//! Runs a fixed matrix — the paper's three topologies × three routing
+//! schemes, each with observers off (`plain`) and on (`traced`: counters +
+//! event journal + per-phase profiler) — and writes a [`BenchReport`] as
+//! JSON. `BENCH_netsim.json` at the repository root is the committed
+//! baseline; CI reruns the matrix and `--check`s against it.
+//!
+//! ```text
+//! bench_report [--smoke | --full] [--out <path>] [--check <baseline>]
+//!              [--threshold <frac>]
+//! ```
+//!
+//! * `--smoke` (default): scaled-down topologies, short windows — about a
+//!   minute.
+//! * `--full`: the paper-size topologies — minutes.
+//! * `--out <path>`: where to write the report (default `BENCH_netsim.json`).
+//! * `--check <baseline>`: after measuring, compare against a previous
+//!   report; exit 1 if any matrix cell got more than `--threshold`
+//!   (default 0.15) slower after machine-speed calibration.
+//!
+//! Noise strategy: timing on a shared runner is noisy and the noise is
+//! one-sided (contention only slows things down), so every cell is timed
+//! over several measurement windows spread across interleaved *rounds* of
+//! the whole matrix — a sustained contention stretch then degrades one
+//! round of every cell instead of every window of one cell — and the
+//! fastest window wins. Machine speed is calibrated with a pure CPU
+//! kernel that shares no code with the simulator: a genuine engine
+//! regression moves every cell but not the calibration scalar, while a
+//! slower machine moves both and cancels out of the normalized ratio.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use regnet_bench::report::{
+    check_against, peak_rss_kb, BenchCell, BenchReport, BENCH_SCHEMA, DEFAULT_THRESHOLD,
+};
+use regnet_bench::{parse_flag_value, Topo};
+use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_netsim::{EventOptions, SimConfig, Simulator};
+use regnet_topology::Topology;
+use regnet_traffic::{Pattern, PatternSpec};
+
+const SCHEMES: [RoutingScheme; 3] = [
+    RoutingScheme::UpDown,
+    RoutingScheme::ItbSp,
+    RoutingScheme::ItbRr,
+];
+const TOPOS: [(Topo, &str); 3] = [
+    (Topo::Torus, "torus"),
+    (Topo::Express, "express"),
+    (Topo::Cplant, "cplant"),
+];
+const LOAD: f64 = 0.01;
+const SEED: u64 = 1;
+
+struct MatrixParams {
+    mode: &'static str,
+    warmup: u64,
+    measure: u64,
+    /// Interleaved rounds over the whole matrix; per cell the fastest
+    /// round's window is reported.
+    rounds: u32,
+}
+
+/// Everything rebuilt once per (topology, scheme): route-db construction
+/// dominates setup cost, so it stays out of the round loop.
+struct CellSetup {
+    topo_key: &'static str,
+    scheme: RoutingScheme,
+    topo: Topology,
+    db: RouteDb,
+    pattern: Pattern,
+}
+
+/// One timed measurement window on a fresh simulator.
+/// Returns `(wall_ns, counter_events, phases)`.
+fn time_window(
+    s: &CellSetup,
+    traced: bool,
+    p: &MatrixParams,
+) -> (u64, u64, Vec<regnet_netsim::PhaseProfile>) {
+    let mut sim = Simulator::new(&s.topo, &s.db, &s.pattern, SimConfig::default(), LOAD, SEED);
+    if traced {
+        sim.enable_counters();
+        sim.enable_events(EventOptions::default());
+        sim.enable_profiler();
+    }
+    sim.run(p.warmup);
+    sim.begin_measurement();
+    let t0 = Instant::now();
+    sim.run(p.measure);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let stats = sim.end_measurement(p.measure);
+    let events = stats
+        .counters
+        .as_ref()
+        .map(|c| c.total_events())
+        .unwrap_or(0);
+    let phases = sim.profile_report().map(|r| r.phases).unwrap_or_default();
+    (wall_ns, events, phases)
+}
+
+/// Pure-CPU calibration kernel: a xorshift-fed pointer-chase over a small
+/// working set, deliberately independent of the simulator so that engine
+/// regressions do NOT move this scalar. Returns steps/second.
+fn calibration_window() -> f64 {
+    const STEPS: u64 = 4_000_000;
+    let mut table = [0u64; 4096];
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    for slot in table.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *slot = x;
+    }
+    let t0 = Instant::now();
+    let mut acc: u64 = 0;
+    let mut idx: usize = 0;
+    for _ in 0..STEPS {
+        let v = table[idx];
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(v);
+        idx = (v ^ acc) as usize & (table.len() - 1);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    STEPS as f64 / dt
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let p = if full {
+        MatrixParams {
+            mode: "full",
+            warmup: 60_000,
+            measure: 150_000,
+            rounds: 1,
+        }
+    } else {
+        MatrixParams {
+            mode: "smoke",
+            warmup: 5_000,
+            measure: 20_000,
+            rounds: 3,
+        }
+    };
+    let out_path = parse_flag_value(&args, "--out").unwrap_or_else(|| "BENCH_netsim.json".into());
+    let baseline_path = parse_flag_value(&args, "--check");
+    let threshold: f64 = parse_flag_value(&args, "--threshold")
+        .map(|s| s.parse().expect("--threshold must be a number"))
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    eprintln!("[building topologies and route databases]");
+    let mut setups = Vec::new();
+    for (topo_kind, topo_key) in TOPOS {
+        let topo = if full {
+            topo_kind.build()
+        } else {
+            topo_kind.build_small()
+        };
+        for scheme in SCHEMES {
+            let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+            let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).expect("pattern");
+            setups.push(CellSetup {
+                topo_key,
+                scheme,
+                topo: topo.clone(),
+                db,
+                pattern,
+            });
+        }
+    }
+
+    // best[cell_index] = (wall_ns, events, phases); calibration keeps its
+    // own best across rounds.
+    let n_cells = setups.len() * 2;
+    let mut best: Vec<Option<(u64, u64, Vec<regnet_netsim::PhaseProfile>)>> = vec![None; n_cells];
+    let mut calibration = f64::NEG_INFINITY;
+    for round in 0..p.rounds.max(1) {
+        eprintln!("[round {}/{}]", round + 1, p.rounds.max(1));
+        calibration = calibration.max(calibration_window());
+        for (i, setup) in setups.iter().enumerate() {
+            for (j, traced) in [false, true].into_iter().enumerate() {
+                let (wall_ns, events, phases) = time_window(setup, traced, &p);
+                let slot = &mut best[i * 2 + j];
+                if slot.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
+                    *slot = Some((wall_ns, events, phases));
+                }
+            }
+        }
+    }
+
+    let mut cells = Vec::with_capacity(n_cells);
+    for (i, s) in setups.iter().enumerate() {
+        for (j, traced) in [false, true].into_iter().enumerate() {
+            let (wall_ns, events, phases) = best[i * 2 + j].take().expect("every cell ran");
+            let wall_s = wall_ns as f64 / 1e9;
+            cells.push(BenchCell {
+                topo: s.topo_key.to_string(),
+                scheme: s.scheme.label().to_string(),
+                traced,
+                cycles: p.measure,
+                wall_ns,
+                cycles_per_sec: p.measure as f64 / wall_s,
+                events_per_sec: events as f64 / wall_s,
+                phases,
+            });
+        }
+    }
+    let report = BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        mode: p.mode.to_string(),
+        calibration_cycles_per_sec: calibration,
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        cells,
+    };
+    print!("{}", report.to_table());
+
+    // Observer overhead summary: traced vs plain, per cell.
+    for pair in report.cells.chunks(2) {
+        if let [plain, traced] = pair {
+            println!(
+                "  overhead {:<22} {:>6.1}%  ({} journal+counter events/s)",
+                format!("{}/{}", plain.topo, plain.scheme),
+                (plain.cycles_per_sec / traced.cycles_per_sec - 1.0) * 100.0,
+                traced.events_per_sec as u64
+            );
+        }
+    }
+
+    match std::fs::write(&out_path, report.to_json()) {
+        Ok(()) => println!("[saved {out_path}]"),
+        Err(e) => {
+            eprintln!("could not save {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(base_path) = baseline_path {
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("could not read baseline {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_against(&report, &base, threshold) {
+            Ok(lines) => {
+                let mut failed = false;
+                for l in &lines {
+                    println!(
+                        "  check {:<30} {:>6.1}% of baseline{}",
+                        l.key,
+                        l.ratio * 100.0,
+                        if l.regressed {
+                            "  ** REGRESSION **"
+                        } else {
+                            ""
+                        }
+                    );
+                    failed |= l.regressed;
+                }
+                if lines.is_empty() {
+                    eprintln!("warning: no comparable cells in baseline {base_path}");
+                }
+                if failed {
+                    eprintln!(
+                        "FAIL: at least one cell regressed more than {:.0}% \
+                         (calibrated against machine speed)",
+                        threshold * 100.0
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "check passed: no cell slower than {:.0}% of baseline",
+                    (1.0 - threshold) * 100.0
+                );
+            }
+            Err(e) => {
+                eprintln!("could not check against {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -2,20 +2,26 @@
 //! dump where live packets are parked and classify any suspected stall via
 //! the wait-for-graph analyzer (deadlock cycle vs starvation vs active).
 //! `--fail-link <id>@<cycle>` (repeatable) injects link failures to inspect
-//! the post-fault state.
+//! the post-fault state; `--events <path>` dumps the event journal as
+//! Chrome trace JSON (Perfetto-loadable) for timeline inspection.
 
-use regnet_bench::parse_fail_links;
+use regnet_bench::{parse_fail_links, parse_flag_value, save_chrome_trace};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{FaultOptions, SimConfig, Simulator};
+use regnet_netsim::{EventOptions, FaultOptions, SimConfig, Simulator};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let events_path = parse_flag_value(&args, "--events");
     let topo = gen::torus_2d(8, 8, 8).unwrap();
     let db = RouteDb::build(&topo, RoutingScheme::ItbSp, &RouteDbConfig::default());
     let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
     let mut sim = Simulator::new(&topo, &db, &pattern, SimConfig::default(), 0.001, 1);
+    sim.enable_counters();
+    if events_path.is_some() {
+        sim.enable_events(EventOptions::default());
+    }
     let faulted = if let Some(plan) = parse_fail_links(&args) {
         sim.enable_faults(FaultOptions::with_plan(plan));
         true
@@ -28,4 +34,10 @@ fn main() {
         println!("{:#?}", sim.reliability());
     }
     println!("{}", sim.analyze_stall().summary);
+    if let Some(snap) = sim.counter_snapshot() {
+        println!("{}", snap.to_table());
+    }
+    if let (Some(path), Some(journal)) = (&events_path, sim.journal()) {
+        save_chrome_trace(path, journal);
+    }
 }

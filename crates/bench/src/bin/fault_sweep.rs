@@ -202,6 +202,7 @@ fn goodput_dip(p: &Params) {
                 ..TraceOptions::default()
             },
             faults: Some(FaultOptions::with_plan(plan)),
+            ..RunOptions::default()
         };
         let (_, rel, report) = exp.run_reliability(p.offered, &opts);
         let g = report

@@ -1,23 +1,23 @@
 //! Quick calibration probe: one point per scheme on the paper torus, timed.
 //! Not part of the paper reproduction; used to sanity-check performance and
 //! saturation behaviour while developing. Runs with the lifetime/digest
-//! trace observers on and finishes each point with a wait-for-graph stall
-//! classification.
+//! trace observers and the unified counters on, finishes each point with a
+//! wait-for-graph stall classification, and — with `--events <path>` —
+//! dumps each scheme's event journal as Chrome trace JSON
+//! (`<stem>.<scheme>.json`, Perfetto-loadable).
 
-use regnet_bench::parse_fail_links;
+use regnet_bench::{parse_fail_links, parse_flag_value, save_chrome_trace};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{FaultOptions, SimConfig, Simulator, TraceOptions};
+use regnet_netsim::{EventOptions, FaultOptions, SimConfig, Simulator, TraceOptions};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let offered: f64 = args
-        .iter()
-        .position(|a| a == "--load")
-        .and_then(|i| args.get(i + 1))
+    let offered: f64 = parse_flag_value(&args, "--load")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.015);
+    let events_path = parse_flag_value(&args, "--events");
     let fault_plan = parse_fail_links(&args);
     let (warmup_cycles, measure_cycles) = (60_000u64, 150_000u64);
     let topo = gen::torus_2d(8, 8, 8).expect("torus");
@@ -35,6 +35,10 @@ fn main() {
             digest: true,
             ..TraceOptions::default()
         });
+        sim.enable_counters();
+        if events_path.is_some() {
+            sim.enable_events(EventOptions::default());
+        }
         if let Some(plan) = &fault_plan {
             sim.enable_faults(FaultOptions::with_plan(plan.clone()));
         }
@@ -87,5 +91,18 @@ fn main() {
             "         stall check: {}",
             stall.summary.lines().next().unwrap_or("")
         );
+        if let Some(snap) = &stats.counters {
+            for line in snap.to_table().lines() {
+                println!("         {line}");
+            }
+        }
+        if let (Some(path), Some(journal)) = (&events_path, sim.journal()) {
+            let tag = scheme.label().to_lowercase().replace('/', "-");
+            let out = match path.rsplit_once('.') {
+                Some((stem, ext)) => format!("{stem}.{tag}.{ext}"),
+                None => format!("{path}.{tag}.json"),
+            };
+            save_chrome_trace(&out, journal);
+        }
     }
 }

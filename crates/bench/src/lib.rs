@@ -3,6 +3,7 @@
 //! parameters, result formatting, and JSON output.
 
 pub mod experiments;
+pub mod report;
 
 use std::io::Write;
 use std::path::Path;
@@ -147,6 +148,30 @@ pub fn parse_fail_links(args: &[String]) -> Option<regnet_netsim::FaultPlan> {
         }
     }
     (!plan.is_empty()).then_some(plan)
+}
+
+/// Value following `flag` in `args` (e.g. `--events trace.json`); `None`
+/// when the flag is absent. Shared by the probe/diagnose binaries.
+pub fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Dump an event journal as Chrome `trace_event` JSON to `path` (load it
+/// in Perfetto / `chrome://tracing`); prints the path and event count.
+pub fn save_chrome_trace(path: &str, journal: &regnet_netsim::EventJournal) {
+    let trace = journal.to_chrome();
+    match std::fs::write(path, trace.to_json()) {
+        Ok(()) => println!(
+            "[saved {path}: {} trace events from {} journal entries ({} evicted)]",
+            trace.len(),
+            journal.len(),
+            journal.evicted()
+        ),
+        Err(e) => eprintln!("could not save {path}: {e}"),
+    }
 }
 
 /// Geometric load ladder between `lo` and `hi` (inclusive), `n` points.

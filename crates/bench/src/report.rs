@@ -1,0 +1,244 @@
+//! Self-profiling bench pipeline: the data model behind `bench_report`.
+//!
+//! A [`BenchReport`] is a fixed matrix of engine-throughput measurements
+//! (topology × routing scheme × observers on/off) plus a machine-speed
+//! calibration scalar and the process peak RSS. The report is written as
+//! JSON (`BENCH_netsim.json` at the repository root is the committed
+//! baseline) and [`check_against`] compares a fresh run to a baseline,
+//! failing on relative slowdowns beyond a threshold.
+//!
+//! Cross-machine comparison: raw cycles/sec depends on the host, so every
+//! report carries `calibration_cycles_per_sec` — the throughput of one
+//! tiny fixed workload measured by the same binary in the same process.
+//! The check compares *normalized* throughput (cell ÷ calibration), which
+//! cancels first-order machine-speed differences; only slowdowns fail,
+//! speedups are reported but never an error.
+
+use regnet_metrics::json::JsonValue;
+use regnet_netsim::PhaseProfile;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every report, bumped on layout changes.
+pub const BENCH_SCHEMA: &str = "regnet-bench-v1";
+
+/// Default relative-slowdown threshold for [`check_against`].
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// One cell of the bench matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Topology key (`torus` / `express` / `cplant`).
+    pub topo: String,
+    /// Routing-scheme label.
+    pub scheme: String,
+    /// Whether the observers (counters + event journal + profiler) were on.
+    pub traced: bool,
+    /// Measured cycles (the measurement window, warmup excluded).
+    pub cycles: u64,
+    /// Wall time of the measurement window, ns.
+    pub wall_ns: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Counter events per wall-clock second (0 when untraced).
+    pub events_per_sec: f64,
+    /// Per-phase wall-time breakdown (empty when untraced).
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl BenchCell {
+    /// Stable identity of a cell across runs.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.topo,
+            self.scheme,
+            if self.traced { "traced" } else { "plain" }
+        )
+    }
+}
+
+/// A full bench run: matrix cells + calibration + footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout tag, always [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// `smoke` (scaled-down topologies) or `full` (paper topologies).
+    pub mode: String,
+    /// Throughput of the fixed calibration workload on this machine.
+    pub calibration_cycles_per_sec: f64,
+    /// Process peak RSS after the matrix, KiB (0 when unavailable).
+    pub peak_rss_kb: u64,
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize bench report")
+    }
+
+    /// Compact terminal table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "bench report ({}): calibration {:.0} cycles/s, peak RSS {} KiB\n",
+            self.mode, self.calibration_cycles_per_sec, self.peak_rss_kb
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<28} {:>12.0} cycles/s  {:>12.0} events/s\n",
+                c.key(),
+                c.cycles_per_sec,
+                c.events_per_sec
+            ));
+        }
+        out
+    }
+}
+
+/// What [`check_against`] decided for one baseline cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckLine {
+    pub key: String,
+    /// Normalized current ÷ normalized baseline (1.0 = same speed,
+    /// 0.8 = 20% slower).
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// Compare `current` to a baseline report previously written by
+/// [`BenchReport::to_json`]. Returns one [`CheckLine`] per cell present in
+/// both reports; `Err` carries a human-readable reason when the baseline
+/// cannot be parsed. A cell regresses when its normalized throughput falls
+/// below `1 - threshold` of the baseline's.
+pub fn check_against(
+    current: &BenchReport,
+    baseline_json: &str,
+    threshold: f64,
+) -> Result<Vec<CheckLine>, String> {
+    let root = JsonValue::parse(baseline_json).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let base_cal = root
+        .get("calibration_cycles_per_sec")
+        .and_then(|v| v.as_f64())
+        .ok_or("baseline missing calibration_cycles_per_sec")?;
+    if base_cal <= 0.0 {
+        return Err("baseline calibration must be positive".to_string());
+    }
+    if current.calibration_cycles_per_sec <= 0.0 {
+        return Err("current calibration must be positive".to_string());
+    }
+    let cells = root
+        .get("cells")
+        .and_then(|v| v.as_array())
+        .ok_or("baseline missing cells array")?;
+    let mut lines = Vec::new();
+    for cell in cells {
+        let (topo, scheme, traced, base_cps) = match (
+            cell.get("topo").and_then(|v| v.as_str()),
+            cell.get("scheme").and_then(|v| v.as_str()),
+            cell.get("traced").and_then(|v| v.as_bool()),
+            cell.get("cycles_per_sec").and_then(|v| v.as_f64()),
+        ) {
+            (Some(t), Some(s), Some(tr), Some(c)) => (t, s, tr, c),
+            _ => return Err("baseline cell missing topo/scheme/traced/cycles_per_sec".into()),
+        };
+        let Some(cur) = current
+            .cells
+            .iter()
+            .find(|c| c.topo == topo && c.scheme == scheme && c.traced == traced)
+        else {
+            continue; // baseline cell not in this run (e.g. different mode)
+        };
+        if base_cps <= 0.0 {
+            continue;
+        }
+        let base_norm = base_cps / base_cal;
+        let cur_norm = cur.cycles_per_sec / current.calibration_cycles_per_sec;
+        let ratio = cur_norm / base_norm;
+        lines.push(CheckLine {
+            key: cur.key(),
+            ratio,
+            regressed: ratio < 1.0 - threshold,
+        });
+    }
+    Ok(lines)
+}
+
+/// Peak resident-set size of this process in KiB, from `VmHWM` in
+/// `/proc/self/status`; `None` off Linux or if the field is absent.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cal: f64, cps: f64) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            mode: "smoke".to_string(),
+            calibration_cycles_per_sec: cal,
+            peak_rss_kb: 1234,
+            cells: vec![BenchCell {
+                topo: "torus".to_string(),
+                scheme: "itb-rr".to_string(),
+                traced: false,
+                cycles: 20_000,
+                wall_ns: 1_000_000,
+                cycles_per_sec: cps,
+                events_per_sec: 0.0,
+                phases: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn check_passes_same_speed_and_fails_slowdown() {
+        let base = report(1e6, 5e5).to_json();
+        // Same normalized speed on a machine twice as fast: passes.
+        let ok = check_against(&report(2e6, 1e6), &base, 0.15).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!ok[0].regressed, "ratio {:.3}", ok[0].ratio);
+        assert!((ok[0].ratio - 1.0).abs() < 1e-9);
+        // 30% normalized slowdown: fails at the 15% threshold.
+        let slow = check_against(&report(1e6, 3.5e5), &base, 0.15).unwrap();
+        assert!(slow[0].regressed);
+        // Speedup never fails.
+        let fast = check_against(&report(1e6, 9e5), &base, 0.15).unwrap();
+        assert!(!fast[0].regressed);
+    }
+
+    #[test]
+    fn check_roundtrips_through_own_json() {
+        let r = report(1e6, 5e5);
+        let lines = check_against(&r, &r.to_json(), 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].regressed);
+        assert!((lines[0].ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_rejects_garbage_baseline() {
+        assert!(check_against(&report(1e6, 5e5), "not json", 0.15).is_err());
+        assert!(check_against(&report(1e6, 5e5), "{}", 0.15).is_err());
+    }
+
+    #[test]
+    fn missing_cells_are_skipped_not_errors() {
+        let mut base = report(1e6, 5e5);
+        base.cells[0].topo = "cplant".to_string();
+        let lines = check_against(&report(1e6, 5e5), &base.to_json(), 0.15).unwrap();
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn peak_rss_reads_proc_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(peak_rss_kb().unwrap() > 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Chrome `trace_event` JSON writer.
+//!
+//! Builds files loadable in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): the object-format variant
+//! (`{"traceEvents": [...]}`) of the Trace Event Format. The builder is
+//! deliberately dumb — callers append typed events (instants, complete
+//! slices, async spans, flow arrows, metadata) and every event carries the
+//! mandatory `ph`, `ts`, `pid` and `tid` fields. Timestamps are in
+//! microseconds, per the format; `regnet-netsim` converts simulator cycles
+//! with `cycle * CYCLE_NS / 1000`.
+//!
+//! Output is deterministic: events are emitted in insertion order and
+//! timestamps are fixed-precision, so golden-file tests can compare the
+//! whole document byte for byte.
+
+use std::fmt::Write as _;
+
+/// One typed argument attached to an event (rendered under `"args"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Str(String),
+    Int(u64),
+    Float(f64),
+}
+
+impl Arg {
+    fn write(&self, out: &mut String) {
+        match self {
+            Arg::Str(s) => serde::write_json_string(s, out),
+            Arg::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Arg::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    cat: &'static str,
+    /// Trace-event phase: `i` instant, `X` complete, `b`/`e` async
+    /// begin/end, `s`/`t`/`f` flow start/step/end, `M` metadata.
+    ph: char,
+    ts_us: f64,
+    pid: u32,
+    tid: u32,
+    dur_us: Option<f64>,
+    /// `id` for async/flow correlation.
+    id: Option<u64>,
+    args: Vec<(&'static str, Arg)>,
+}
+
+/// Builder for one trace file.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Event>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Number of events appended so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name a process track (Perfetto group header).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(Event {
+            name: "process_name".into(),
+            cat: "__metadata",
+            ph: 'M',
+            ts_us: 0.0,
+            pid,
+            tid: 0,
+            dur_us: None,
+            id: None,
+            args: vec![("name", Arg::Str(name.into()))],
+        });
+    }
+
+    /// Name a thread track within a process.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(Event {
+            name: "thread_name".into(),
+            cat: "__metadata",
+            ph: 'M',
+            ts_us: 0.0,
+            pid,
+            tid,
+            dur_us: None,
+            id: None,
+            args: vec![("name", Arg::Str(name.into()))],
+        });
+    }
+
+    /// A zero-duration marker on one track.
+    pub fn instant(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        ts_us: f64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: 'i',
+            ts_us,
+            pid,
+            tid,
+            dur_us: None,
+            id: None,
+            args,
+        });
+    }
+
+    /// A slice with an explicit duration (`ph: "X"`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: 'X',
+            ts_us,
+            pid,
+            tid,
+            dur_us: Some(dur_us),
+            id: None,
+            args,
+        });
+    }
+
+    /// Open an async span (`ph: "b"`), correlated by `(cat, id)`.
+    pub fn async_begin(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        id: u64,
+        ts_us: f64,
+        pid: u32,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: 'b',
+            ts_us,
+            pid,
+            tid: 0,
+            dur_us: None,
+            id: Some(id),
+            args,
+        });
+    }
+
+    /// Close an async span opened with the same `(cat, id)`.
+    pub fn async_end(&mut self, name: &str, cat: &'static str, id: u64, ts_us: f64, pid: u32) {
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph: 'e',
+            ts_us,
+            pid,
+            tid: 0,
+            dur_us: None,
+            id: Some(id),
+            args: Vec::new(),
+        });
+    }
+
+    /// Start a flow arrow (`ph: "s"`) at a point on a track.
+    pub fn flow_start(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        id: u64,
+        ts_us: f64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.flow('s', name, cat, id, ts_us, pid, tid);
+    }
+
+    /// An intermediate flow point (`ph: "t"`) — e.g. one ITB hop.
+    pub fn flow_step(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        id: u64,
+        ts_us: f64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.flow('t', name, cat, id, ts_us, pid, tid);
+    }
+
+    /// Terminate a flow arrow (`ph: "f"`).
+    pub fn flow_end(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        id: u64,
+        ts_us: f64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.flow('f', name, cat, id, ts_us, pid, tid);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        &mut self,
+        ph: char,
+        name: &str,
+        cat: &'static str,
+        id: u64,
+        ts_us: f64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat,
+            ph,
+            ts_us,
+            pid,
+            tid,
+            dur_us: None,
+            id: Some(id),
+            args: Vec::new(),
+        });
+    }
+
+    /// Render the trace as object-format `trace_event` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  {\"name\":");
+            serde::write_json_string(&ev.name, &mut out);
+            let _ = write!(out, ",\"cat\":\"{}\"", ev.cat);
+            let _ = write!(out, ",\"ph\":\"{}\"", ev.ph);
+            // Fixed precision keeps the document byte-stable; 3 decimals of
+            // a microsecond = nanosecond resolution, finer than one cycle.
+            let _ = write!(out, ",\"ts\":{:.3}", ev.ts_us);
+            if let Some(dur) = ev.dur_us {
+                let _ = write!(out, ",\"dur\":{dur:.3}");
+            }
+            let _ = write!(out, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+            if let Some(id) = ev.id {
+                let _ = write!(out, ",\"id\":\"{id:x}\"");
+            }
+            // Flow arrows bind to the *next* slice on the track by default;
+            // `bp:"e"` binds to the enclosing one, which is what the
+            // packet-journey tracks want.
+            if matches!(ev.ph, 's' | 't' | 'f') {
+                out.push_str(",\"bp\":\"e\"");
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, &mut out);
+                    out.push(':');
+                    v.write(&mut out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "switches");
+        t.thread_name(1, 3, "S3");
+        t.instant(
+            "route",
+            "switch",
+            12.5,
+            1,
+            3,
+            vec![("out_port", Arg::Int(2)), ("pid", Arg::Int(7))],
+        );
+        t.complete("residence", "switch", 12.5, 4.0, 1, 3, vec![]);
+        t.async_begin("pkt 7", "journey", 7, 10.0, 3, vec![("src", Arg::Int(0))]);
+        t.flow_start("journey", "flow", 7, 10.0, 1, 3);
+        t.flow_step("itb", "flow", 7, 14.0, 2, 1);
+        t.flow_end("journey", "flow", 7, 20.0, 2, 0);
+        t.async_end("pkt 7", "journey", 7, 20.0, 3);
+        t
+    }
+
+    #[test]
+    fn emits_valid_trace_event_json() {
+        let text = sample().to_json();
+        let doc = JsonValue::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 9);
+        for ev in events {
+            // The mandatory trace_event fields.
+            assert!(ev.get("ph").and_then(|v| v.as_str()).is_some());
+            assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(ev.get("pid").and_then(|v| v.as_f64()).is_some());
+            assert!(ev.get("tid").and_then(|v| v.as_f64()).is_some());
+        }
+        // Flow phases present for the ITB-hop arrows.
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        for ph in ["s", "t", "f", "b", "e", "i", "X", "M"] {
+            assert!(phases.contains(&ph), "missing phase {ph}: {phases:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn args_and_ids_roundtrip() {
+        let text = sample().to_json();
+        let doc = JsonValue::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let route = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("route"))
+            .unwrap();
+        let args = route.get("args").unwrap();
+        assert_eq!(args.get("out_port").unwrap().as_f64(), Some(2.0));
+        let flow = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("t"))
+            .unwrap();
+        assert_eq!(flow.get("id").unwrap().as_str(), Some("7"));
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(4.0));
+    }
+}

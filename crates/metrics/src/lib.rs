@@ -2,11 +2,15 @@
 //! latency histograms, latency-vs-throughput curves with saturation
 //! detection, and link-utilization summaries.
 
+pub mod chrome;
 mod curve;
 pub mod export;
+pub mod json;
 mod stats;
 mod util;
 
+pub use chrome::{Arg as ChromeArg, ChromeTrace};
 pub use curve::{Curve, CurvePoint, NamedSeries, TimeSeries};
+pub use json::JsonValue;
 pub use stats::{Histogram, RunningStats};
 pub use util::UtilizationSummary;

@@ -278,6 +278,21 @@ mod tests {
     }
 
     #[test]
+    fn histogram_empty_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        // Merging an empty histogram is a no-op.
+        let mut a = Histogram::new();
+        a.record(7);
+        a.merge(&h);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile(1.0), 7);
+    }
+
+    #[test]
     fn histogram_huge_values_saturate() {
         let mut h = Histogram::new();
         h.record(u64::MAX);

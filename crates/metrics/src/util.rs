@@ -13,8 +13,15 @@ pub struct UtilizationSummary {
 
 impl UtilizationSummary {
     /// Build from per-channel busy-cycle counters over `window` cycles.
+    /// A zero-length window (run ended before measurement started) yields
+    /// all-zero utilizations rather than NaN, so downstream summaries stay
+    /// finite and `==`-comparable.
     pub fn from_busy_cycles(busy: &[u64], window: u64) -> UtilizationSummary {
-        assert!(window > 0);
+        if window == 0 {
+            return UtilizationSummary {
+                per_channel: vec![0.0; busy.len()],
+            };
+        }
         UtilizationSummary {
             per_channel: busy.iter().map(|&b| b as f64 / window as f64).collect(),
         }
@@ -25,6 +32,9 @@ impl UtilizationSummary {
     }
 
     pub fn min(&self) -> f64 {
+        if self.per_channel.is_empty() {
+            return 0.0;
+        }
         self.per_channel.iter().copied().fold(1.0, f64::min)
     }
 
@@ -115,7 +125,21 @@ mod tests {
     fn empty() {
         let u = UtilizationSummary::from_busy_cycles(&[], 10);
         assert_eq!(u.mean(), 0.0);
+        assert_eq!(u.min(), 0.0);
+        assert_eq!(u.max(), 0.0);
         assert_eq!(u.fraction_below(0.5), 0.0);
         assert_eq!(u.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn zero_window_is_all_zeros() {
+        let u = UtilizationSummary::from_busy_cycles(&[7, 0, 3], 0);
+        assert_eq!(u.per_channel, vec![0.0, 0.0, 0.0]);
+        assert_eq!(u.mean(), 0.0);
+        assert_eq!(u.min(), 0.0);
+        assert_eq!(u.max(), 0.0);
+        assert_eq!(u.imbalance(), 0.0);
+        // Everything stays finite — no NaN leaks into serialized reports.
+        assert!(u.per_channel.iter().all(|x| x.is_finite()));
     }
 }

@@ -1,0 +1,239 @@
+//! Unified event-counter registry.
+//!
+//! A single boxed struct of plain `u64` counters, owned by the simulator as
+//! `Option<Box<Counters>>` — the same pattern as the trace observers, so a
+//! disabled registry costs one branch per hook site and no memory. Unlike
+//! the histogram/time-series observers in [`trace`](crate::trace), counters
+//! are pure event counts: incrementing them never perturbs simulation
+//! state, so two same-seed runs produce identical snapshots (asserted by
+//! the determinism suite).
+//!
+//! [`CounterSnapshot`] is the frozen, serializable view: it rides inside
+//! [`RunStats`](crate::RunStats) and is printed by the `probe`/`diagnose`
+//! binaries.
+
+use std::cell::Cell;
+
+use serde::{Deserialize, Serialize};
+
+/// Immutable counter values at a point in time. Field order matches
+/// [`CounterSnapshot::NAMES`]; iterate with
+/// [`as_pairs`](CounterSnapshot::as_pairs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Flits moved through a switch crossbar.
+    pub flits_forwarded: u64,
+    /// Flits sent from a NIC into its access link (fresh, re-injected and
+    /// retransmitted traffic alike).
+    pub flits_injected: u64,
+    /// Packet headers consumed by a routing control unit.
+    pub route_lookups: u64,
+    /// Crossbar connections established by output-port arbitration.
+    pub arbitration_grants: u64,
+    /// Worms whose head found its output busy, stopped, or contended when
+    /// it finished routing (the paper's blocking events).
+    pub worms_blocked: u64,
+    /// Packets that started arriving at a switch input port.
+    pub switch_arrivals: u64,
+    /// STOP symbols delivered to senders.
+    pub ctl_stops: u64,
+    /// GO symbols delivered to senders.
+    pub ctl_gos: u64,
+    /// Messages created by the generators.
+    pub messages_generated: u64,
+    /// Messages fully reassembled at their destination.
+    pub messages_delivered: u64,
+    /// Packets delivered (== messages unless MTU segmentation is on).
+    pub packets_delivered: u64,
+    /// Packets abandoned for good (fault machinery).
+    pub packets_dropped: u64,
+    /// Packets ejected into an in-transit buffer.
+    pub itb_ejections: u64,
+    /// Ejected packets that started re-injecting.
+    pub itb_reinjections: u64,
+    /// ITB ejections that overflowed the pool to host memory.
+    pub itb_overflows: u64,
+    /// Source retransmissions queued after a worm was truncated.
+    pub retransmits: u64,
+    /// Fault events fired (links/switches/hosts going down).
+    pub fault_fires: u64,
+    /// Fault repairs applied.
+    pub fault_repairs: u64,
+    /// Wait-for-graph stall analyses run.
+    pub wfg_invocations: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter names, in [`as_pairs`](CounterSnapshot::as_pairs) order.
+    pub const NAMES: [&'static str; 19] = [
+        "flits_forwarded",
+        "flits_injected",
+        "route_lookups",
+        "arbitration_grants",
+        "worms_blocked",
+        "switch_arrivals",
+        "ctl_stops",
+        "ctl_gos",
+        "messages_generated",
+        "messages_delivered",
+        "packets_delivered",
+        "packets_dropped",
+        "itb_ejections",
+        "itb_reinjections",
+        "itb_overflows",
+        "retransmits",
+        "fault_fires",
+        "fault_repairs",
+        "wfg_invocations",
+    ];
+
+    /// `(name, value)` pairs in a fixed order, for table printing.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 19] {
+        [
+            ("flits_forwarded", self.flits_forwarded),
+            ("flits_injected", self.flits_injected),
+            ("route_lookups", self.route_lookups),
+            ("arbitration_grants", self.arbitration_grants),
+            ("worms_blocked", self.worms_blocked),
+            ("switch_arrivals", self.switch_arrivals),
+            ("ctl_stops", self.ctl_stops),
+            ("ctl_gos", self.ctl_gos),
+            ("messages_generated", self.messages_generated),
+            ("messages_delivered", self.messages_delivered),
+            ("packets_delivered", self.packets_delivered),
+            ("packets_dropped", self.packets_dropped),
+            ("itb_ejections", self.itb_ejections),
+            ("itb_reinjections", self.itb_reinjections),
+            ("itb_overflows", self.itb_overflows),
+            ("retransmits", self.retransmits),
+            ("fault_fires", self.fault_fires),
+            ("fault_repairs", self.fault_repairs),
+            ("wfg_invocations", self.wfg_invocations),
+        ]
+    }
+
+    /// Sum of every counter — a cheap proxy for "events observed", used by
+    /// the bench pipeline's events/sec figure.
+    pub fn total_events(&self) -> u64 {
+        self.as_pairs().iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Multi-line `name value` table, non-zero counters only (all-zero
+    /// registries print a placeholder line).
+    pub fn to_table(&self) -> String {
+        let pairs = self.as_pairs();
+        let width = pairs.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let mut any = false;
+        for (name, v) in pairs {
+            if v == 0 {
+                continue;
+            }
+            any = true;
+            out.push_str(&format!("{name:<width$}  {v}\n"));
+        }
+        if !any {
+            out.push_str("(all counters zero)\n");
+        }
+        out
+    }
+}
+
+/// Live registry, boxed inside the simulator when counting is on. Fields
+/// are incremented inline at the hook sites; `wfg_invocations` is a `Cell`
+/// because [`Simulator::analyze_stall`](crate::Simulator::analyze_stall)
+/// takes `&self`.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub flits_forwarded: u64,
+    pub flits_injected: u64,
+    pub route_lookups: u64,
+    pub arbitration_grants: u64,
+    pub worms_blocked: u64,
+    pub switch_arrivals: u64,
+    pub ctl_stops: u64,
+    pub ctl_gos: u64,
+    pub messages_generated: u64,
+    pub messages_delivered: u64,
+    pub packets_delivered: u64,
+    pub packets_dropped: u64,
+    pub itb_ejections: u64,
+    pub itb_reinjections: u64,
+    pub itb_overflows: u64,
+    pub retransmits: u64,
+    pub fault_fires: u64,
+    pub fault_repairs: u64,
+    pub wfg_invocations: Cell<u64>,
+}
+
+impl Counters {
+    pub(crate) fn new() -> Counters {
+        Counters::default()
+    }
+
+    pub(crate) fn reset(&mut self) {
+        *self = Counters::default();
+    }
+
+    pub(crate) fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            flits_forwarded: self.flits_forwarded,
+            flits_injected: self.flits_injected,
+            route_lookups: self.route_lookups,
+            arbitration_grants: self.arbitration_grants,
+            worms_blocked: self.worms_blocked,
+            switch_arrivals: self.switch_arrivals,
+            ctl_stops: self.ctl_stops,
+            ctl_gos: self.ctl_gos,
+            messages_generated: self.messages_generated,
+            messages_delivered: self.messages_delivered,
+            packets_delivered: self.packets_delivered,
+            packets_dropped: self.packets_dropped,
+            itb_ejections: self.itb_ejections,
+            itb_reinjections: self.itb_reinjections,
+            itb_overflows: self.itb_overflows,
+            retransmits: self.retransmits,
+            fault_fires: self.fault_fires,
+            fault_repairs: self.fault_repairs,
+            wfg_invocations: self.wfg_invocations.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_registry() {
+        let mut c = Counters::new();
+        c.flits_forwarded = 10;
+        c.worms_blocked = 3;
+        c.wfg_invocations.set(2);
+        let s = c.snapshot();
+        assert_eq!(s.flits_forwarded, 10);
+        assert_eq!(s.worms_blocked, 3);
+        assert_eq!(s.wfg_invocations, 2);
+        assert_eq!(s.total_events(), 15);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn pairs_cover_every_name() {
+        let s = CounterSnapshot {
+            flits_forwarded: 1,
+            ..CounterSnapshot::default()
+        };
+        let pairs = s.as_pairs();
+        assert_eq!(pairs.len(), CounterSnapshot::NAMES.len());
+        for ((n1, _), n2) in pairs.iter().zip(CounterSnapshot::NAMES) {
+            assert_eq!(*n1, n2);
+        }
+        assert!(s.to_table().contains("flits_forwarded"));
+        assert!(!s.to_table().contains("ctl_stops"), "zero rows are elided");
+        assert!(CounterSnapshot::default()
+            .to_table()
+            .contains("all counters zero"));
+    }
+}

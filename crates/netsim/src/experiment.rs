@@ -8,7 +8,9 @@ use regnet_topology::Topology;
 use regnet_traffic::{Pattern, PatternSpec};
 
 use crate::config::SimConfig;
+use crate::events::{EventJournal, EventOptions};
 use crate::faultplan::{FaultOptions, ReliabilityStats};
+use crate::profiler::ProfileReport;
 use crate::sim::{ChannelDesc, RunStats, Simulator};
 use crate::trace::{ChannelUtilSeries, TraceOptions, TraceReport};
 
@@ -30,6 +32,15 @@ pub struct RunOptions {
     /// dependability counters come back through
     /// [`Experiment::run_reliability`].
     pub faults: Option<FaultOptions>,
+    /// Enable the unified counter registry; the snapshot over the
+    /// measurement window rides in [`RunStats::counters`].
+    pub counters: bool,
+    /// Enable the structured event journal (default: `None`, no journal).
+    /// The journal comes back through [`Experiment::run_observed`].
+    pub events: Option<EventOptions>,
+    /// Enable the per-phase wall-time self-profiler; the report comes back
+    /// through [`Experiment::run_observed`].
+    pub profile: bool,
 }
 
 impl Default for RunOptions {
@@ -40,8 +51,23 @@ impl Default for RunOptions {
             seed: 1,
             trace: TraceOptions::default(),
             faults: None,
+            counters: false,
+            events: None,
+            profile: false,
         }
     }
+}
+
+/// Everything a single run can report beyond its [`RunStats`]: the
+/// dependability counters, the trace-observer report, the self-profiler
+/// breakdown and the event journal (each `None`/default unless the
+/// corresponding [`RunOptions`] field enabled it).
+pub struct RunObservation {
+    pub stats: RunStats,
+    pub reliability: ReliabilityStats,
+    pub trace: Option<TraceReport>,
+    pub profile: Option<ProfileReport>,
+    pub journal: Option<Box<EventJournal>>,
 }
 
 /// Run `f(0..n)` on `threads` OS threads (1 = sequential) and return the
@@ -185,14 +211,31 @@ impl Experiment {
         offered: f64,
         opts: &RunOptions,
     ) -> (RunStats, ReliabilityStats, Option<TraceReport>) {
+        let obs = self.run_observed(offered, opts);
+        (obs.stats, obs.reliability, obs.trace)
+    }
+
+    /// Run one point with every observer selected in `opts` and return the
+    /// full [`RunObservation`]: stats, reliability, trace report, profiler
+    /// breakdown and event journal. This is the superset entry point; the
+    /// other `run_*` methods are thin projections of it.
+    ///
+    /// Observers are enabled before warmup, so the journal sees the whole
+    /// run (warmup included) while `RunStats.counters` — reset at
+    /// `begin_measurement` — covers exactly the measurement window.
+    pub fn run_observed(&self, offered: f64, opts: &RunOptions) -> RunObservation {
         let mut sim = self.make_sim(offered, opts);
         sim.run(opts.warmup_cycles);
         sim.begin_measurement();
         sim.run(opts.measure_cycles);
         let stats = sim.end_measurement(opts.measure_cycles);
-        let rel = sim.reliability();
-        let report = sim.trace_report();
-        (stats, rel, report)
+        RunObservation {
+            stats,
+            reliability: sim.reliability(),
+            trace: sim.trace_report(),
+            profile: sim.profile_report(),
+            journal: sim.take_journal(),
+        }
     }
 
     fn make_sim(&self, offered: f64, opts: &RunOptions) -> Simulator<'_> {
@@ -207,6 +250,15 @@ impl Experiment {
         sim.enable_trace(opts.trace.clone());
         if let Some(faults) = &opts.faults {
             sim.enable_faults(faults.clone());
+        }
+        if opts.counters {
+            sim.enable_counters();
+        }
+        if let Some(ev) = &opts.events {
+            sim.enable_events(ev.clone());
+        }
+        if opts.profile {
+            sim.enable_profiler();
         }
         sim
     }

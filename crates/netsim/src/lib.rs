@@ -55,17 +55,23 @@
 mod channel;
 pub mod collective;
 mod config;
+pub mod counters;
+pub mod events;
 pub mod experiment;
 pub mod faultplan;
 mod nic;
 mod packet;
+pub mod profiler;
 mod sim;
 mod switch;
 pub mod trace;
 pub mod wfg;
 
 pub use config::{GenerationProcess, SimConfig, CYCLE_NS};
+pub use counters::CounterSnapshot;
+pub use events::{BlockCause, Event, EventJournal, EventKind, EventMask, EventOptions, NO_PACKET};
 pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
+pub use profiler::{PhaseProfile, ProfileReport, PHASE_NAMES};
 pub use sim::{ChannelDesc, RunStats, Simulator};
 pub use trace::{TraceOptions, TraceReport};
 pub use wfg::{StallClass, StallReport};

@@ -1,0 +1,156 @@
+//! Engine self-profiler: wall-clock time per simulation phase.
+//!
+//! Answers "where does the engine spend its time" — routing and
+//! arbitration vs channel bookkeeping vs generation vs observer overhead —
+//! without an external profiler. When enabled, `Simulator::step` takes a
+//! timestamped path that wraps each phase with `Instant::now()`; disabled
+//! (the default), the fast path has no timing calls at all.
+//!
+//! Wall-clock figures are host-machine noise, so they are kept strictly
+//! out of `RunStats` (which must be bit-identical across same-seed runs);
+//! collect them separately with `Simulator::profile_report`.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-cycle phases the profiler distinguishes, in execution order.
+pub const PHASE_NAMES: [&str; 7] = [
+    "faults",     // fault events, loss handling, reconfiguration
+    "control",    // stop/go symbol arrivals
+    "arrivals",   // data-flit arrivals into switches and NICs
+    "switches",   // route lookup, arbitration, crossbar transfer
+    "nic_tx",     // NIC transmission
+    "generation", // message generation
+    "observers",  // watchdog + trace/journal per-cycle work
+];
+
+pub(crate) const N_PHASES: usize = PHASE_NAMES.len();
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Phase {
+    Faults = 0,
+    Control = 1,
+    Arrivals = 2,
+    Switches = 3,
+    NicTx = 4,
+    Generation = 5,
+    Observers = 6,
+}
+
+/// Accumulated nanoseconds per phase.
+#[derive(Debug, Default)]
+pub(crate) struct Profiler {
+    pub ns: [u64; N_PHASES],
+    pub cycles: u64,
+}
+
+impl Profiler {
+    pub(crate) fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase as usize] += ns;
+    }
+
+    pub(crate) fn report(&self) -> ProfileReport {
+        let total_ns: u64 = self.ns.iter().sum();
+        ProfileReport {
+            cycles: self.cycles,
+            total_ns,
+            phases: PHASE_NAMES
+                .iter()
+                .zip(self.ns)
+                .map(|(&name, ns)| PhaseProfile {
+                    name: name.to_string(),
+                    ns,
+                    fraction: if total_ns > 0 {
+                        ns as f64 / total_ns as f64
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Wall time attributed to one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    pub name: String,
+    pub ns: u64,
+    /// Share of the total profiled time, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Everything the profiler measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Cycles stepped while profiling.
+    pub cycles: u64,
+    /// Total profiled wall time, ns.
+    pub total_ns: u64,
+    /// Per-phase breakdown, in execution order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl ProfileReport {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / (self.total_ns as f64 / 1e9)
+    }
+
+    /// Compact percentage table for terminal output.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "profiled {} cycles in {:.3} s ({:.0} cycles/s)\n",
+            self.cycles,
+            self.total_ns as f64 / 1e9,
+            self.cycles_per_sec()
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<11} {:>6.2}%  {:>12} ns\n",
+                p.name,
+                p.fraction * 100.0,
+                p.ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_fractions_sum_to_one() {
+        let mut p = Profiler::new();
+        p.add(Phase::Switches, 600);
+        p.add(Phase::Arrivals, 300);
+        p.add(Phase::Observers, 100);
+        p.cycles = 10;
+        let r = p.report();
+        assert_eq!(r.total_ns, 1000);
+        assert_eq!(r.phases.len(), PHASE_NAMES.len());
+        let sum: f64 = r.phases.iter().map(|x| x.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(r.phases[3].name, "switches");
+        assert!((r.phases[3].fraction - 0.6).abs() < 1e-12);
+        assert!(r.cycles_per_sec() > 0.0);
+        assert!(r.to_table().contains("switches"));
+    }
+
+    #[test]
+    fn empty_profiler_reports_zeros() {
+        let r = Profiler::new().report();
+        assert_eq!(r.total_ns, 0);
+        assert_eq!(r.cycles_per_sec(), 0.0);
+        assert!(r.phases.iter().all(|p| p.fraction == 0.0));
+    }
+}

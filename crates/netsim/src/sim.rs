@@ -29,9 +29,12 @@ use regnet_traffic::{interarrival_cycles, Pattern};
 
 use crate::channel::{Channel, Receiver, Sender, CTL_NONE, CTL_STOP};
 use crate::config::{GenerationProcess, SimConfig, CYCLE_NS};
+use crate::counters::{CounterSnapshot, Counters};
+use crate::events::{BlockCause, EventJournal, EventKind, EventOptions, NO_PACKET};
 use crate::faultplan::{FaultEvent, FaultOptions, FaultRuntime, FaultTarget, ReliabilityStats};
 use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{Packet, PacketArena};
+use crate::profiler::{Phase, ProfileReport, Profiler};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
 use crate::trace::{TraceOptions, TraceReport, TraceState};
 use crate::wfg::StallReport;
@@ -68,6 +71,10 @@ pub struct RunStats {
     pub max_pool_flits: u32,
     /// Busy cycles per directed channel during the window.
     pub channel_busy: Vec<u64>,
+    /// Counter-registry snapshot over the window; `None` unless
+    /// [`Simulator::enable_counters`] was called. Counters are pure event
+    /// counts, so this stays `==`-comparable across same-seed runs.
+    pub counters: Option<CounterSnapshot>,
 }
 
 impl RunStats {
@@ -160,6 +167,14 @@ pub struct Simulator<'a> {
     /// Fault-injection runtime; `None` (the default) keeps the fault hooks
     /// in the hot path down to a single branch.
     faults: Option<Box<FaultRuntime>>,
+    /// Counter registry; `None` (the default) costs one branch per hook.
+    counters: Option<Box<Counters>>,
+    /// Structured event journal; `None` (the default) costs one branch per
+    /// hook.
+    journal: Option<Box<EventJournal>>,
+    /// Per-phase wall-time profiler; `None` (the default) keeps `step` on
+    /// the untimed fast path.
+    profiler: Option<Box<Profiler>>,
     /// Directed channel indices per physical link (both directions).
     link_chans: Vec<[u32; 2]>,
     /// `stop_generation` was called: never restart generators, even when a
@@ -295,9 +310,52 @@ impl<'a> Simulator<'a> {
             last_activity: 0,
             trace: None,
             faults: None,
+            counters: None,
+            journal: None,
+            profiler: None,
             link_chans,
             gen_frozen: false,
         }
+    }
+
+    /// Enable the unified counter registry. Counting from this point on;
+    /// [`begin_measurement`](Simulator::begin_measurement) resets it so the
+    /// snapshot in [`RunStats`] covers exactly the measurement window.
+    pub fn enable_counters(&mut self) {
+        self.counters = Some(Box::new(Counters::new()));
+    }
+
+    /// Current counter values; `None` when counting was never enabled.
+    pub fn counter_snapshot(&self) -> Option<CounterSnapshot> {
+        self.counters.as_deref().map(|c| c.snapshot())
+    }
+
+    /// Enable the structured event journal (see [`EventOptions`]).
+    pub fn enable_events(&mut self, opts: EventOptions) {
+        self.journal = Some(Box::new(EventJournal::new(opts)));
+    }
+
+    /// The event journal, if enabled.
+    pub fn journal(&self) -> Option<&EventJournal> {
+        self.journal.as_deref()
+    }
+
+    /// Take the journal out of the simulator (for export after a run).
+    pub fn take_journal(&mut self) -> Option<Box<EventJournal>> {
+        self.journal.take()
+    }
+
+    /// Enable per-phase wall-time profiling. Wall times never enter
+    /// [`RunStats`]; collect them with
+    /// [`profile_report`](Simulator::profile_report).
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::new(Profiler::new()));
+    }
+
+    /// Per-phase wall-time breakdown; `None` when profiling was never
+    /// enabled.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_deref().map(|p| p.report())
     }
 
     /// Arm the fault-injection runtime with `opts` (see [`FaultOptions`]).
@@ -361,6 +419,9 @@ impl<'a> Simulator<'a> {
     /// [`Deadlock`](crate::wfg::StallClass::Deadlock) (naming the cycle's
     /// channels), or [`Starvation`](crate::wfg::StallClass::Starvation).
     pub fn analyze_stall(&self) -> StallReport {
+        if let Some(c) = self.counters.as_deref() {
+            c.wfg_invocations.set(c.wfg_invocations.get() + 1);
+        }
         crate::wfg::analyze(
             &self.switches,
             self.arena.live(),
@@ -425,6 +486,9 @@ impl<'a> Simulator<'a> {
         if let Some(tr) = &mut self.trace {
             tr.on_busy_reset();
         }
+        if let Some(c) = &mut self.counters {
+            c.reset();
+        }
     }
 
     /// Close the measurement window and collect the results.
@@ -460,6 +524,7 @@ impl<'a> Simulator<'a> {
             gen_stall_cycles: m.gen_stall_cycles,
             max_pool_flits: m.max_pool_flits,
             channel_busy: self.channels.iter().map(|c| c.busy_cycles).collect(),
+            counters: self.counter_snapshot(),
         }
     }
 
@@ -540,20 +605,74 @@ impl<'a> Simulator<'a> {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
-        let cycle = self.cycle;
+        if self.profiler.is_some() {
+            self.step_profiled();
+        } else {
+            let cycle = self.cycle;
+            // ---- Phase 0: fault events, loss handling, reconfig. ----
+            if self.faults.is_some() {
+                self.fault_phase(cycle);
+            }
+            self.ctl_phase(cycle);
+            self.arrival_phase(cycle);
+            self.switches_phase(cycle);
+            self.nic_tx_phase(cycle);
+            self.gen_phase(cycle);
+            self.observer_phase(cycle);
+        }
+        self.cycle += 1;
+    }
 
-        // ---- Phase 0: fault events, loss handling, reconfiguration. ----
+    /// `step` with each phase wrapped in wall-clock timing. Kept separate
+    /// so the default path carries no `Instant::now()` calls.
+    fn step_profiled(&mut self) {
+        use std::time::Instant;
+        let cycle = self.cycle;
+        let mut mark = Instant::now();
+        let mut lap = |prof: &mut Profiler, phase: Phase| {
+            let now = Instant::now();
+            prof.add(phase, (now - mark).as_nanos() as u64);
+            mark = now;
+        };
         if self.faults.is_some() {
             self.fault_phase(cycle);
         }
+        let mut prof = self
+            .profiler
+            .take()
+            .expect("profiled step without profiler");
+        lap(&mut prof, Phase::Faults);
+        self.ctl_phase(cycle);
+        lap(&mut prof, Phase::Control);
+        self.arrival_phase(cycle);
+        lap(&mut prof, Phase::Arrivals);
+        self.switches_phase(cycle);
+        lap(&mut prof, Phase::Switches);
+        self.nic_tx_phase(cycle);
+        lap(&mut prof, Phase::NicTx);
+        self.gen_phase(cycle);
+        lap(&mut prof, Phase::Generation);
+        self.observer_phase(cycle);
+        lap(&mut prof, Phase::Observers);
+        prof.cycles += 1;
+        self.profiler = Some(prof);
+    }
 
-        // ---- Phase 1: control-symbol arrivals flip sender flags. ----
+    /// Phase 1: control-symbol arrivals flip sender flags.
+    fn ctl_phase(&mut self, cycle: u64) {
         for i in 0..self.channels.len() {
             let symbol = self.channels[i].take_ctl_arrival(cycle);
             if symbol == CTL_NONE {
                 continue;
             }
             let stopped = symbol == CTL_STOP;
+            if let Some(c) = &mut self.counters {
+                if stopped {
+                    c.ctl_stops += 1;
+                } else {
+                    c.ctl_gos += 1;
+                }
+            }
             match self.channels[i].sender {
                 Sender::SwitchOut { sw, port } => {
                     self.switches[sw as usize].outp[port as usize]
@@ -564,8 +683,10 @@ impl<'a> Simulator<'a> {
                 Sender::Nic { host } => self.nics[host as usize].stopped = stopped,
             }
         }
+    }
 
-        // ---- Phase 2: data arrivals. ----
+    /// Phase 2: data arrivals.
+    fn arrival_phase(&mut self, cycle: u64) {
         for i in 0..self.channels.len() {
             let Some(pid) = self.channels[i].take_arrival(cycle) else {
                 continue;
@@ -576,22 +697,31 @@ impl<'a> Simulator<'a> {
                 Receiver::Nic { host } => self.nic_rx(host, pid, cycle),
             }
         }
+    }
 
-        // ---- Phase 3: switches route, arbitrate and transfer. ----
+    /// Phase 3: switches route, arbitrate and transfer.
+    fn switches_phase(&mut self, cycle: u64) {
         for s in 0..self.switches.len() {
             self.switch_phase(s, cycle);
         }
+    }
 
-        // ---- Phase 4: NIC transmission. ----
+    /// Phase 4: NIC transmission.
+    fn nic_tx_phase(&mut self, cycle: u64) {
         for h in 0..self.nics.len() {
             self.nic_tx(h, cycle);
         }
+    }
 
-        // ---- Phase 5: message generation. ----
+    /// Phase 5: message generation.
+    fn gen_phase(&mut self, cycle: u64) {
         for h in 0..self.nics.len() {
             self.nic_gen(h, cycle);
         }
+    }
 
+    /// Watchdog + per-cycle observer work.
+    fn observer_phase(&mut self, cycle: u64) {
         // Watchdog: a quiescent network with live packets should be
         // impossible under the routing schemes' deadlock-freedom argument.
         // Before aborting, run the wait-for-graph analyzer so the panic
@@ -614,8 +744,6 @@ impl<'a> Simulator<'a> {
         if let Some(tr) = &mut self.trace {
             tr.on_cycle_end(cycle, &self.channels, &self.nics);
         }
-
-        self.cycle += 1;
     }
 
     fn switch_rx(&mut self, sw: u32, port: u8, pid: u32, cycle: u64) {
@@ -644,6 +772,12 @@ impl<'a> Simulator<'a> {
                 forwarded: 0,
                 header_consumed: false,
             });
+            if let Some(c) = &mut self.counters {
+                c.switch_arrivals += 1;
+            }
+            if let Some(j) = &mut self.journal {
+                j.record(cycle, pid, EventKind::SwitchArrival { sw, port });
+            }
         }
         if let Some(ctl) = inp.on_flit_in(&self.cfg) {
             let chan = inp.in_chan;
@@ -705,12 +839,63 @@ impl<'a> Simulator<'a> {
                                     lost.push(pid);
                                 }
                             }
+                            if let Some(c) = &mut self.counters {
+                                c.route_lookups += 1;
+                            }
+                            if let Some(j) = &mut self.journal {
+                                j.record(
+                                    cycle,
+                                    pid,
+                                    EventKind::Route {
+                                        sw: s as u32,
+                                        port: p as u8,
+                                        out,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
                 HeadState::Routing { ready } => {
                     if cycle >= ready {
                         inp.head = HeadState::Requesting;
+                        if self.counters.is_some() || self.journal.is_some() {
+                            let out = inp.head_out;
+                            let pid = inp.queue.front().map(|q| q.pid).unwrap_or(NO_PACKET);
+                            // Why can't the head advance right now? Busy or
+                            // stopped output, or another requesting head.
+                            let cause = match sw.outp.get(out as usize).and_then(|o| o.as_ref()) {
+                                Some(o) if o.conn_in.is_some() => Some(BlockCause::OutputBusy),
+                                Some(o) if o.stopped => Some(BlockCause::FlowStopped),
+                                Some(_) => {
+                                    let contended = sw.active_ports.iter().any(|&q| {
+                                        q as usize != p
+                                            && sw.inp[q as usize].as_ref().is_some_and(|ip| {
+                                                ip.head == HeadState::Requesting
+                                                    && ip.head_out == out
+                                            })
+                                    });
+                                    contended.then_some(BlockCause::Arbitration)
+                                }
+                                None => None,
+                            };
+                            if let Some(cause) = cause {
+                                if let Some(c) = &mut self.counters {
+                                    c.worms_blocked += 1;
+                                }
+                                if let Some(j) = &mut self.journal {
+                                    j.record(
+                                        cycle,
+                                        pid,
+                                        EventKind::Block {
+                                            sw: s as u32,
+                                            out,
+                                            cause,
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
                 HeadState::Requesting | HeadState::Granted => {}
@@ -746,6 +931,27 @@ impl<'a> Simulator<'a> {
                     outp.conn_in = Some(g);
                     outp.rr = g;
                     sw.inp[g as usize].as_mut().unwrap().head = HeadState::Granted;
+                    if let Some(c) = &mut self.counters {
+                        c.arbitration_grants += 1;
+                    }
+                    if let Some(j) = &mut self.journal {
+                        let pid = sw.inp[g as usize]
+                            .as_ref()
+                            .unwrap()
+                            .queue
+                            .front()
+                            .map(|q| q.pid)
+                            .unwrap_or(NO_PACKET);
+                        j.record(
+                            cycle,
+                            pid,
+                            EventKind::HeadAdvance {
+                                sw: s as u32,
+                                in_port: g,
+                                out: p as u8,
+                            },
+                        );
+                    }
                 }
             }
             // Transfer.
@@ -770,6 +976,9 @@ impl<'a> Simulator<'a> {
             let done = head.done();
             self.channels[out_chan as usize].send(cycle, pid);
             self.last_activity = cycle;
+            if let Some(c) = &mut self.counters {
+                c.flits_forwarded += 1;
+            }
             if let Some(ctl) = inp.on_flit_out(cfg) {
                 let chan = inp.in_chan;
                 self.channels[chan as usize].send_ctl(cycle, ctl);
@@ -819,7 +1028,8 @@ impl<'a> Simulator<'a> {
                     let mut ready =
                         cycle + (self.cfg.itb_detect_cycles + self.cfg.itb_dma_cycles) as u64;
                     let nic = &mut self.nics[h];
-                    if nic.pool_used + expected <= self.cfg.itb_pool_flits {
+                    let overflow = nic.pool_used + expected > self.cfg.itb_pool_flits;
+                    if !overflow {
                         nic.pool_used += expected;
                         pkt.pool_reserved = expected;
                         if self.measure.on {
@@ -842,6 +1052,15 @@ impl<'a> Simulator<'a> {
                     self.nics[h].reinject.push(std::cmp::Reverse((ready, pid)));
                     if let Some(tr) = &mut self.trace {
                         tr.on_itb_eject(cycle, pid);
+                    }
+                    if let Some(c) = &mut self.counters {
+                        c.itb_ejections += 1;
+                        if overflow {
+                            c.itb_overflows += 1;
+                        }
+                    }
+                    if let Some(j) = &mut self.journal {
+                        j.record(cycle, pid, EventKind::ItbEject { host, overflow });
                     }
                     false
                 }
@@ -871,6 +1090,12 @@ impl<'a> Simulator<'a> {
                     m.delivered_packets += 1;
                     m.delivered_payload_flits += pkt.payload as u64;
                 }
+                if let Some(c) = &mut self.counters {
+                    c.packets_delivered += 1;
+                }
+                if let Some(j) = &mut self.journal {
+                    j.record(cycle, pid, EventKind::Deliver { dst: host });
+                }
                 if done {
                     // All packets of the message reassembled: the message
                     // is delivered (with mtu_flits = None this is every
@@ -891,6 +1116,9 @@ impl<'a> Simulator<'a> {
                             m.latency.push((cycle - ms.first_inject) as f64);
                             m.hist.record(cycle - ms.first_inject);
                             m.total_latency.push((cycle - ms.gen_cycle) as f64);
+                        }
+                        if let Some(c) = &mut self.counters {
+                            c.messages_delivered += 1;
                         }
                         if let Some(tr) = &mut self.trace {
                             tr.on_message_delivered(
@@ -938,7 +1166,7 @@ impl<'a> Simulator<'a> {
                             && f.host_ok[dst.idx()]
                             && db.has_route(self.topo.host_switch(src), self.topo.host_switch(dst));
                         if !routable {
-                            self.drop_packet(pid);
+                            self.drop_packet(pid, cycle);
                             continue;
                         }
                         if f.routes.is_some() {
@@ -1001,12 +1229,31 @@ impl<'a> Simulator<'a> {
             if ms.first_inject == u64::MAX {
                 ms.first_inject = cycle;
             }
+            if let Some(j) = &mut self.journal {
+                j.record(
+                    cycle,
+                    tx.pid,
+                    EventKind::Inject {
+                        src: pkt.journey.src.0,
+                        dst: pkt.journey.dst.0,
+                    },
+                );
+            }
         }
         self.channels[nic.out_chan as usize].send(cycle, tx.pid);
         self.last_activity = cycle;
+        if let Some(c) = &mut self.counters {
+            c.flits_injected += 1;
+        }
         if tx.sent == 0 && tx.reinjection {
             if let Some(tr) = &mut self.trace {
                 tr.on_reinject_start(cycle, tx.pid);
+            }
+            if let Some(c) = &mut self.counters {
+                c.itb_reinjections += 1;
+            }
+            if let Some(j) = &mut self.journal {
+                j.record(cycle, tx.pid, EventKind::Reinject { host: h as u32 });
             }
         }
         let tx_ref = nic.tx.as_mut().unwrap();
@@ -1100,6 +1347,9 @@ impl<'a> Simulator<'a> {
         }
         if self.measure.on {
             self.measure.generated += 1;
+        }
+        if let Some(c) = &mut self.counters {
+            c.messages_generated += 1;
         }
     }
 
@@ -1217,6 +1467,21 @@ impl<'a> Simulator<'a> {
     }
 
     fn apply_fault_event(&mut self, ev: FaultEvent, victims: &mut Vec<u32>) {
+        if let Some(c) = &mut self.counters {
+            if ev.fail {
+                c.fault_fires += 1;
+            } else {
+                c.fault_repairs += 1;
+            }
+        }
+        if let Some(j) = &mut self.journal {
+            let kind = if ev.fail {
+                EventKind::FaultFire { target: ev.target }
+            } else {
+                EventKind::FaultRepair { target: ev.target }
+            };
+            j.record(ev.cycle, NO_PACKET, kind);
+        }
         let f = self.faults.as_deref_mut().unwrap();
         match (ev.target, ev.fail) {
             (FaultTarget::Link(l), true) => {
@@ -1508,13 +1773,25 @@ impl<'a> Simulator<'a> {
                 .retransmit
                 .push(Reverse((cycle + self.cfg.retransmit_timeout_cycles, pid)));
             self.faults.as_deref_mut().unwrap().rel.retransmissions += 1;
+            if let Some(c) = &mut self.counters {
+                c.retransmits += 1;
+            }
+            if let Some(j) = &mut self.journal {
+                j.record(cycle, pid, EventKind::Retransmit { src: src.0 });
+            }
         } else {
-            self.drop_packet(pid);
+            self.drop_packet(pid, cycle);
         }
     }
 
     /// Give up on a packet: its message can never complete.
-    fn drop_packet(&mut self, pid: u32) {
+    fn drop_packet(&mut self, pid: u32, cycle: u64) {
+        if let Some(c) = &mut self.counters {
+            c.packets_dropped += 1;
+        }
+        if let Some(j) = &mut self.journal {
+            j.record(cycle, pid, EventKind::Drop);
+        }
         let pkt = self.arena.remove(pid);
         let ms = self.msgs.get_mut(pkt.msg);
         ms.remaining -= 1;

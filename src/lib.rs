@@ -67,10 +67,13 @@ pub mod prelude {
         RoutingScheme, Segment, SegmentEnd,
     };
     pub use regnet_mapper::{rebuild_physical_routes, FaultSet, PhysicalRoutes};
-    pub use regnet_metrics::{Curve, CurvePoint, UtilizationSummary};
-    pub use regnet_netsim::experiment::{par_map, Experiment, RunOptions, ThroughputSearch};
+    pub use regnet_metrics::{ChromeTrace, Curve, CurvePoint, UtilizationSummary};
+    pub use regnet_netsim::experiment::{
+        par_map, Experiment, RunObservation, RunOptions, ThroughputSearch,
+    };
     pub use regnet_netsim::{
-        FaultEvent, FaultOptions, FaultPlan, FaultTarget, GenerationProcess, ReliabilityStats,
+        BlockCause, CounterSnapshot, EventJournal, EventKind, EventMask, EventOptions, FaultEvent,
+        FaultOptions, FaultPlan, FaultTarget, GenerationProcess, ProfileReport, ReliabilityStats,
         RunStats, SimConfig, Simulator, StallClass, StallReport, TraceOptions, TraceReport,
     };
     pub use regnet_routing::{LegalDistances, SwitchPath};

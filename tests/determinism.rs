@@ -127,6 +127,90 @@ fn different_seeds_give_different_digests() {
     assert_ne!(d1, d2);
 }
 
+// ---- The observability layer must reproduce too. ----
+
+/// Counter snapshots are pure event counts, so two same-seed runs must
+/// produce identical snapshots — and the Chrome trace export, a pure
+/// function of the journal, must be byte-identical.
+#[test]
+fn counters_and_event_journal_are_deterministic() {
+    let run = || {
+        let exp = Experiment::new(
+            gen::torus_2d(4, 4, 4).unwrap(),
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            SimConfig {
+                payload_flits: 64,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let obs = exp.run_observed(
+            0.01,
+            &RunOptions {
+                counters: true,
+                events: Some(EventOptions::default()),
+                ..opts(42)
+            },
+        );
+        let snap = obs.stats.counters.clone().expect("counters enabled");
+        let trace = obs.journal.expect("journal enabled").to_chrome().to_json();
+        (obs.stats, snap, trace)
+    };
+    let (s1, c1, t1) = run();
+    let (s2, c2, t2) = run();
+    assert_eq!(s1, s2, "RunStats diverged with observers enabled");
+    assert_eq!(c1, c2, "counter snapshots diverged across identical runs");
+    assert_eq!(t1, t2, "Chrome trace export diverged across identical runs");
+    assert!(
+        c1.total_events() > 0,
+        "the run must count something: {c1:?}"
+    );
+    assert!(
+        c1.messages_delivered > 0 && c1.flits_forwarded > c1.messages_delivered,
+        "counters must reflect real traffic: {c1:?}"
+    );
+    assert_eq!(
+        c1.messages_delivered, s1.delivered,
+        "counter and measurement views of deliveries must agree"
+    );
+}
+
+/// Enabling the observability layer must not perturb the simulation: the
+/// RunStats of an observed run equals the RunStats of a bare run
+/// (modulo the snapshot field itself).
+#[test]
+fn observers_do_not_perturb_the_simulation() {
+    let run = |observed: bool| {
+        let exp = Experiment::new(
+            gen::torus_2d(4, 4, 4).unwrap(),
+            RoutingScheme::ItbSp,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            SimConfig {
+                payload_flits: 64,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let mut o = opts(42);
+        if observed {
+            o.counters = true;
+            o.events = Some(EventOptions::default());
+            o.profile = true;
+        }
+        let mut stats = exp.run_stats(0.01, &o);
+        stats.counters = None;
+        stats
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "observers changed simulation behaviour"
+    );
+}
+
 // ---- Faults are part of the run's identity. ----
 
 fn faulted_plan(topo: &Topology) -> FaultPlan {
