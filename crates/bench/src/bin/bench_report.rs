@@ -2,9 +2,11 @@
 //!
 //! Runs a fixed matrix — the paper's three topologies × three routing
 //! schemes, each with observers off (`plain`) and on (`traced`: counters +
-//! event journal + per-phase profiler) — and writes a [`BenchReport`] as
-//! JSON. `BENCH_netsim.json` at the repository root is the committed
-//! baseline; CI reruns the matrix and `--check`s against it.
+//! event journal + per-phase profiler) — plus a scheduler-comparison
+//! column (scan vs active-set cycle loop, ITB-RR, at a near-idle and a
+//! saturated load) and writes a [`BenchReport`] as JSON.
+//! `BENCH_netsim.json` at the repository root is the committed baseline;
+//! CI reruns the matrix and `--check`s against it.
 //!
 //! ```text
 //! bench_report [--smoke | --full] [--out <path>] [--check <baseline>]
@@ -37,7 +39,7 @@ use regnet_bench::report::{
 };
 use regnet_bench::{parse_flag_value, Topo};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{EventOptions, SimConfig, Simulator};
+use regnet_netsim::{EventOptions, Scheduler, SimConfig, Simulator};
 use regnet_topology::Topology;
 use regnet_traffic::{Pattern, PatternSpec};
 
@@ -52,6 +54,11 @@ const TOPOS: [(Topo, &str); 3] = [
     (Topo::Cplant, "cplant"),
 ];
 const LOAD: f64 = 0.01;
+/// The scheduler-comparison loads: near-idle (where active-set scheduling
+/// pays off — few components have work per cycle) and saturation (where
+/// everything is busy and the active set must not cost anything).
+const LOW_LOAD: f64 = 0.0005;
+const SAT_LOAD: f64 = 0.05;
 const SEED: u64 = 1;
 
 struct MatrixParams {
@@ -79,8 +86,11 @@ fn time_window(
     s: &CellSetup,
     traced: bool,
     p: &MatrixParams,
+    scheduler: Scheduler,
+    load: f64,
 ) -> (u64, u64, Vec<regnet_netsim::PhaseProfile>) {
-    let mut sim = Simulator::new(&s.topo, &s.db, &s.pattern, SimConfig::default(), LOAD, SEED);
+    let mut sim = Simulator::new(&s.topo, &s.db, &s.pattern, SimConfig::default(), load, SEED);
+    sim.set_scheduler(scheduler);
     if traced {
         sim.enable_counters();
         sim.enable_events(EventOptions::default());
@@ -172,9 +182,26 @@ fn main() -> ExitCode {
         }
     }
 
+    // Scheduler-comparison jobs: ITB-RR (the paper's headline scheme) on
+    // every topology, scan vs active-set, at the lowest-load point and at
+    // saturation. (setup index, load, scheduler), scan first per pair.
+    let cmp_jobs: Vec<(usize, f64, Scheduler)> = setups
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.scheme == RoutingScheme::ItbRr)
+        .flat_map(|(i, _)| {
+            [LOW_LOAD, SAT_LOAD].into_iter().flat_map(move |load| {
+                [Scheduler::Scan, Scheduler::ActiveSet]
+                    .into_iter()
+                    .map(move |sched| (i, load, sched))
+            })
+        })
+        .collect();
+
     // best[cell_index] = (wall_ns, events, phases); calibration keeps its
     // own best across rounds.
-    let n_cells = setups.len() * 2;
+    let n_matrix = setups.len() * 2;
+    let n_cells = n_matrix + cmp_jobs.len();
     let mut best: Vec<Option<(u64, u64, Vec<regnet_netsim::PhaseProfile>)>> = vec![None; n_cells];
     let mut calibration = f64::NEG_INFINITY;
     for round in 0..p.rounds.max(1) {
@@ -182,11 +209,19 @@ fn main() -> ExitCode {
         calibration = calibration.max(calibration_window());
         for (i, setup) in setups.iter().enumerate() {
             for (j, traced) in [false, true].into_iter().enumerate() {
-                let (wall_ns, events, phases) = time_window(setup, traced, &p);
+                let (wall_ns, events, phases) =
+                    time_window(setup, traced, &p, Scheduler::default(), LOAD);
                 let slot = &mut best[i * 2 + j];
                 if slot.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
                     *slot = Some((wall_ns, events, phases));
                 }
+            }
+        }
+        for (k, &(i, load, sched)) in cmp_jobs.iter().enumerate() {
+            let (wall_ns, events, phases) = time_window(&setups[i], false, &p, sched, load);
+            let slot = &mut best[n_matrix + k];
+            if slot.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
+                *slot = Some((wall_ns, events, phases));
             }
         }
     }
@@ -200,6 +235,8 @@ fn main() -> ExitCode {
                 topo: s.topo_key.to_string(),
                 scheme: s.scheme.label().to_string(),
                 traced,
+                scheduler: Scheduler::default().label().to_string(),
+                load: LOAD,
                 cycles: p.measure,
                 wall_ns,
                 cycles_per_sec: p.measure as f64 / wall_s,
@@ -207,6 +244,22 @@ fn main() -> ExitCode {
                 phases,
             });
         }
+    }
+    for (k, &(i, load, sched)) in cmp_jobs.iter().enumerate() {
+        let (wall_ns, events, phases) = best[n_matrix + k].take().expect("every cell ran");
+        let wall_s = wall_ns as f64 / 1e9;
+        cells.push(BenchCell {
+            topo: setups[i].topo_key.to_string(),
+            scheme: setups[i].scheme.label().to_string(),
+            traced: false,
+            scheduler: sched.label().to_string(),
+            load,
+            cycles: p.measure,
+            wall_ns,
+            cycles_per_sec: p.measure as f64 / wall_s,
+            events_per_sec: events as f64 / wall_s,
+            phases,
+        });
     }
     let report = BenchReport {
         schema: BENCH_SCHEMA.to_string(),
@@ -217,14 +270,30 @@ fn main() -> ExitCode {
     };
     print!("{}", report.to_table());
 
-    // Observer overhead summary: traced vs plain, per cell.
-    for pair in report.cells.chunks(2) {
+    // Observer overhead summary: traced vs plain, per matrix cell.
+    for pair in report.cells[..n_matrix].chunks(2) {
         if let [plain, traced] = pair {
             println!(
                 "  overhead {:<22} {:>6.1}%  ({} journal+counter events/s)",
                 format!("{}/{}", plain.topo, plain.scheme),
                 (plain.cycles_per_sec / traced.cycles_per_sec - 1.0) * 100.0,
                 traced.events_per_sec as u64
+            );
+        }
+    }
+
+    // Scheduler summary: active-set speedup over the scan reference at
+    // each comparison point (cmp_jobs emits scan/active-set adjacently).
+    println!("  scheduler active-set vs scan (itb-rr):");
+    for pair in report.cells[n_matrix..].chunks(2) {
+        if let [scan, active] = pair {
+            println!(
+                "    {:<8} load {:<7} {:>+7.1}%  ({:.0} -> {:.0} cycles/s)",
+                scan.topo,
+                scan.load,
+                (active.cycles_per_sec / scan.cycles_per_sec - 1.0) * 100.0,
+                scan.cycles_per_sec,
+                active.cycles_per_sec
             );
         }
     }

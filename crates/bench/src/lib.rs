@@ -113,8 +113,21 @@ pub fn experiment(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec) -
 
 /// Number of worker threads for sweeps. `REGNET_THREADS=<n>` overrides the
 /// detected parallelism (useful for CI runners and reproducible timings).
+///
+/// The environment is read once, on first call; later mutations of
+/// `REGNET_THREADS` (e.g. by tests running in the same process) have no
+/// effect. The override logic itself lives in [`threads_from`].
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var("REGNET_THREADS") {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| threads_from(std::env::var("REGNET_THREADS").ok().as_deref()))
+}
+
+/// Worker-thread count given the raw `REGNET_THREADS` value, if any: a
+/// positive integer wins; anything else (including `None`) falls back to
+/// the detected parallelism. Pure, so tests can cover the override rules
+/// without mutating process-global environment state.
+pub fn threads_from(override_var: Option<&str>) -> usize {
+    if let Some(v) = override_var {
         match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
             _ => eprintln!("ignoring invalid REGNET_THREADS={v:?}"),
@@ -269,12 +282,18 @@ mod tests {
 
     #[test]
     fn threads_env_override() {
-        // Serial with itself only: no other test reads threads().
-        std::env::set_var("REGNET_THREADS", "3");
-        assert_eq!(threads(), 3);
-        std::env::set_var("REGNET_THREADS", "zero");
-        assert!(threads() >= 1, "bad override falls back to detection");
-        std::env::remove_var("REGNET_THREADS");
+        // The override rules are tested through the pure function — no
+        // process-global env mutation, so this cannot race with other
+        // tests (or with threads()' one-shot env read).
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 8 ")), 8, "whitespace is trimmed");
+        assert!(
+            threads_from(Some("zero")) >= 1,
+            "bad override falls back to detection"
+        );
+        assert!(threads_from(Some("0")) >= 1, "zero threads is rejected");
+        assert!(threads_from(None) >= 1);
+        // The cached entry point agrees with some valid configuration.
         assert!(threads() >= 1);
     }
 

@@ -19,7 +19,9 @@ use regnet_netsim::PhaseProfile;
 use serde::{Deserialize, Serialize};
 
 /// Schema tag written into every report, bumped on layout changes.
-pub const BENCH_SCHEMA: &str = "regnet-bench-v1";
+/// v2 added the `scheduler` and `load` cell fields (cycle-loop scheduler
+/// comparison columns).
+pub const BENCH_SCHEMA: &str = "regnet-bench-v2";
 
 /// Default relative-slowdown threshold for [`check_against`].
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
@@ -33,6 +35,10 @@ pub struct BenchCell {
     pub scheme: String,
     /// Whether the observers (counters + event journal + profiler) were on.
     pub traced: bool,
+    /// Cycle-loop scheduler label (`scan` / `active-set`).
+    pub scheduler: String,
+    /// Offered load the cell was measured at (flits/ns/switch).
+    pub load: f64,
     /// Measured cycles (the measurement window, warmup excluded).
     pub cycles: u64,
     /// Wall time of the measurement window, ns.
@@ -49,10 +55,12 @@ impl BenchCell {
     /// Stable identity of a cell across runs.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}",
+            "{}/{}/{}/{}@{}",
             self.topo,
             self.scheme,
-            if self.traced { "traced" } else { "plain" }
+            self.scheduler,
+            if self.traced { "traced" } else { "plain" },
+            self.load
         )
     }
 }
@@ -84,7 +92,7 @@ impl BenchReport {
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "  {:<28} {:>12.0} cycles/s  {:>12.0} events/s\n",
+                "  {:<42} {:>12.0} cycles/s  {:>12.0} events/s\n",
                 c.key(),
                 c.cycles_per_sec,
                 c.events_per_sec
@@ -140,11 +148,18 @@ pub fn check_against(
             (Some(t), Some(s), Some(tr), Some(c)) => (t, s, tr, c),
             _ => return Err("baseline cell missing topo/scheme/traced/cycles_per_sec".into()),
         };
-        let Some(cur) = current
-            .cells
-            .iter()
-            .find(|c| c.topo == topo && c.scheme == scheme && c.traced == traced)
-        else {
+        // Pre-v2 baselines carry no scheduler/load fields; such cells
+        // match on the legacy key only (topo, scheme, traced) — document
+        // order puts the default-matrix cells first, so they win.
+        let base_sched = cell.get("scheduler").and_then(|v| v.as_str());
+        let base_load = cell.get("load").and_then(|v| v.as_f64());
+        let Some(cur) = current.cells.iter().find(|c| {
+            c.topo == topo
+                && c.scheme == scheme
+                && c.traced == traced
+                && base_sched.is_none_or(|s| c.scheduler == s)
+                && base_load.is_none_or(|l| c.load == l)
+        }) else {
             continue; // baseline cell not in this run (e.g. different mode)
         };
         if base_cps <= 0.0 {
@@ -178,22 +193,28 @@ pub fn peak_rss_kb() -> Option<u64> {
 mod tests {
     use super::*;
 
+    fn cell(scheduler: &str, load: f64, cps: f64) -> BenchCell {
+        BenchCell {
+            topo: "torus".to_string(),
+            scheme: "itb-rr".to_string(),
+            traced: false,
+            scheduler: scheduler.to_string(),
+            load,
+            cycles: 20_000,
+            wall_ns: 1_000_000,
+            cycles_per_sec: cps,
+            events_per_sec: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
     fn report(cal: f64, cps: f64) -> BenchReport {
         BenchReport {
             schema: BENCH_SCHEMA.to_string(),
             mode: "smoke".to_string(),
             calibration_cycles_per_sec: cal,
             peak_rss_kb: 1234,
-            cells: vec![BenchCell {
-                topo: "torus".to_string(),
-                scheme: "itb-rr".to_string(),
-                traced: false,
-                cycles: 20_000,
-                wall_ns: 1_000_000,
-                cycles_per_sec: cps,
-                events_per_sec: 0.0,
-                phases: Vec::new(),
-            }],
+            cells: vec![cell("active-set", 0.01, cps)],
         }
     }
 
@@ -226,6 +247,41 @@ mod tests {
     fn check_rejects_garbage_baseline() {
         assert!(check_against(&report(1e6, 5e5), "not json", 0.15).is_err());
         assert!(check_against(&report(1e6, 5e5), "{}", 0.15).is_err());
+    }
+
+    #[test]
+    fn scheduler_and_load_disambiguate_cells() {
+        // Same topo/scheme/traced four ways: a v2 baseline must compare
+        // each variant against its own counterpart, not the first match.
+        let mut base = report(1e6, 0.0);
+        base.cells = vec![
+            cell("scan", 0.0005, 1e5),
+            cell("active-set", 0.0005, 4e5),
+            cell("scan", 0.01, 2e5),
+        ];
+        let mut cur = base.clone();
+        // The scan low-load cell regresses 50%; the others hold steady.
+        cur.cells[0].cycles_per_sec = 5e4;
+        let lines = check_against(&cur, &base.to_json(), 0.15).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].regressed, "{lines:?}");
+        assert!(!lines[1].regressed && !lines[2].regressed, "{lines:?}");
+        assert!(lines[0].key.contains("scan"), "{}", lines[0].key);
+        assert!(lines[0].key.ends_with("@0.0005"), "{}", lines[0].key);
+    }
+
+    #[test]
+    fn legacy_baseline_without_scheduler_still_checks() {
+        // A pre-v2 baseline cell (no scheduler/load members) matches the
+        // first current cell with the legacy identity.
+        let legacy = r#"{
+            "calibration_cycles_per_sec": 1e6,
+            "cells": [{"topo": "torus", "scheme": "itb-rr",
+                       "traced": false, "cycles_per_sec": 5e5}]
+        }"#;
+        let lines = check_against(&report(1e6, 5e5), legacy, 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].regressed);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct Channel {
     pub busy_cycles: u64,
     /// A dead channel drops every flit offered to it (cable fault).
     dead: bool,
+    /// Cycle of the last `send_ctl`, used by the call-order check: a slot
+    /// may only be overwritten by a second symbol sent in the *same* cycle
+    /// (a deliberate supersede); anything else would silently destroy an
+    /// undelivered symbol.
+    ctl_written_at: u64,
 }
 
 impl Channel {
@@ -59,6 +64,7 @@ impl Channel {
             ctl: vec![CTL_NONE; delay as usize].into_boxed_slice(),
             busy_cycles: 0,
             dead: false,
+            ctl_written_at: 0,
         }
     }
 
@@ -106,13 +112,26 @@ impl Channel {
 
     /// Emit a stop/go symbol towards the sender; arrives `delay` cycles
     /// from now. Control symbols die with the cable too.
+    ///
+    /// Must be called after [`take_ctl_arrival`](Channel::take_ctl_arrival)
+    /// for the same cycle: the write reuses the slot the current cycle's
+    /// arrival occupies, so calling out of order would silently drop that
+    /// symbol. The only legal overwrite is superseding a symbol sent
+    /// earlier in the *same* cycle (e.g. a purge's GO replacing this
+    /// cycle's STOP), which the debug assertion below permits.
     #[inline]
     pub fn send_ctl(&mut self, cycle: u64, symbol: u8) {
         if self.dead {
             return;
         }
         let s = self.slot(cycle);
+        debug_assert!(
+            self.ctl[s] == CTL_NONE || self.ctl_written_at == cycle,
+            "send_ctl would clobber an undelivered control symbol \
+             (call take_ctl_arrival for this cycle first)"
+        );
         self.ctl[s] = symbol;
+        self.ctl_written_at = cycle;
     }
 
     /// Any data flits still in flight?
@@ -222,6 +241,35 @@ mod tests {
         let mut c = chan();
         c.send(10, 1);
         c.send(10, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undelivered control symbol")]
+    fn misordered_ctl_send_panics_in_debug() {
+        let mut c = chan();
+        c.send_ctl(10, CTL_STOP);
+        // Cycle 18 reuses slot 10 % 8, and the STOP arriving right now has
+        // not been taken: without the check it would vanish silently.
+        c.send_ctl(18, CTL_GO);
+    }
+
+    #[test]
+    fn ctl_send_after_take_is_ordered() {
+        let mut c = chan();
+        c.send_ctl(10, CTL_STOP);
+        assert_eq!(c.take_ctl_arrival(18), CTL_STOP);
+        c.send_ctl(18, CTL_GO); // slot freed by the take: legal
+        assert_eq!(c.take_ctl_arrival(26), CTL_GO);
+    }
+
+    #[test]
+    fn same_cycle_ctl_supersede_is_allowed() {
+        let mut c = chan();
+        // A purge's GO may overwrite a STOP sent earlier the same cycle;
+        // the receiver sees only the final symbol.
+        c.send_ctl(5, CTL_STOP);
+        c.send_ctl(5, CTL_GO);
+        assert_eq!(c.take_ctl_arrival(13), CTL_GO);
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! the histogram/time-series observers in [`trace`](crate::trace), counters
 //! are pure event counts: incrementing them never perturbs simulation
 //! state, so two same-seed runs produce identical snapshots (asserted by
-//! the determinism suite).
+//! the determinism suite). The hook sites sit inside the shared
+//! per-component delivery/advance helpers, *below* the scheduler's
+//! dispatch: whether a phase reached a component by scanning everything
+//! or by draining a wake list, the same hooks fire in the same
+//! ascending-index order, so snapshots are also identical across
+//! [`Scheduler`](crate::Scheduler) modes (`tests/scheduler_equivalence.rs`).
 //!
 //! [`CounterSnapshot`] is the frozen, serializable view: it rides inside
 //! [`RunStats`](crate::RunStats) and is printed by the `probe`/`diagnose`

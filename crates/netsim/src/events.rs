@@ -16,7 +16,13 @@
 //! file in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
 //!
 //! Like every observer, the journal is `Option<Box<...>>` inside the
-//! simulator: disabled, each hook site costs one branch.
+//! simulator: disabled, each hook site costs one branch. The journal is
+//! order-sensitive (entries are appended as hooks fire), so the hook
+//! sites live in the shared helpers below the scheduler dispatch and the
+//! active-set scheduler sorts every wake list before draining it — the
+//! recorded sequence, and therefore the Chrome trace export, is
+//! byte-identical between [`Scheduler`](crate::Scheduler) modes
+//! (`tests/scheduler_equivalence.rs::chrome_trace_export_schedulers_agree`).
 
 use std::collections::VecDeque;
 
@@ -292,7 +298,9 @@ impl EventJournal {
                 EventKind::SwitchArrival { sw, .. }
                 | EventKind::Route { sw, .. }
                 | EventKind::Block { sw, .. }
-                | EventKind::HeadAdvance { sw, .. } if !named_sw.contains(&sw) => {
+                | EventKind::HeadAdvance { sw, .. }
+                    if !named_sw.contains(&sw) =>
+                {
                     named_sw.push(sw);
                     t.thread_name(PID_SWITCHES, sw, &format!("S{sw}"));
                 }

@@ -11,6 +11,7 @@ use crate::config::SimConfig;
 use crate::events::{EventJournal, EventOptions};
 use crate::faultplan::{FaultOptions, ReliabilityStats};
 use crate::profiler::ProfileReport;
+use crate::sched::Scheduler;
 use crate::sim::{ChannelDesc, RunStats, Simulator};
 use crate::trace::{ChannelUtilSeries, TraceOptions, TraceReport};
 
@@ -41,6 +42,10 @@ pub struct RunOptions {
     /// Enable the per-phase wall-time self-profiler; the report comes back
     /// through [`Experiment::run_observed`].
     pub profile: bool,
+    /// Cycle-loop driver (default [`Scheduler::ActiveSet`]). Results are
+    /// bit-identical across drivers; [`Scheduler::Scan`] remains available
+    /// as the reference implementation the equivalence suite diffs against.
+    pub scheduler: Scheduler,
 }
 
 impl Default for RunOptions {
@@ -54,6 +59,7 @@ impl Default for RunOptions {
             counters: false,
             events: None,
             profile: false,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -247,6 +253,7 @@ impl Experiment {
             offered,
             opts.seed,
         );
+        sim.set_scheduler(opts.scheduler);
         sim.enable_trace(opts.trace.clone());
         if let Some(faults) = &opts.faults {
             sim.enable_faults(faults.clone());

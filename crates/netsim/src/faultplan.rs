@@ -9,6 +9,15 @@
 //! The simulator consumes the plan through
 //! [`Simulator::enable_faults`](crate::Simulator::enable_faults); the
 //! runtime bookkeeping lives in [`FaultRuntime`] (crate-private).
+//!
+//! Fault execution is a scheduler hook site: purging a worm resends GO
+//! symbols and hands arrivals/grants to components the active-set
+//! scheduler may have retired as quiescent, so every mutation the fault
+//! phase makes re-registers the affected channels, switches and NICs
+//! with the crate-private `ActiveSched` — including *same
+//! cycle* (phase 0) ctl deliveries, which the tagless wake wheel handles
+//! because all channels share one delay. `tests/scheduler_equivalence.rs`
+//! pins scan-vs-active-set equality under a fault plan.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

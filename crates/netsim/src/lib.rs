@@ -62,6 +62,7 @@ pub mod faultplan;
 mod nic;
 mod packet;
 pub mod profiler;
+mod sched;
 mod sim;
 mod switch;
 pub mod trace;
@@ -72,6 +73,7 @@ pub use counters::CounterSnapshot;
 pub use events::{BlockCause, Event, EventJournal, EventKind, EventMask, EventOptions, NO_PACKET};
 pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
 pub use profiler::{PhaseProfile, ProfileReport, PHASE_NAMES};
+pub use sched::Scheduler;
 pub use sim::{ChannelDesc, RunStats, Simulator};
 pub use trace::{TraceOptions, TraceReport};
 pub use wfg::{StallClass, StallReport};

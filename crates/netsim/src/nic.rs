@@ -115,6 +115,23 @@ impl Nic {
         None
     }
 
+    /// Nothing for the transmit phase to do at `cycle` — no transmission in
+    /// flight (a stopped NIC with a worm in progress must keep being
+    /// visited so it resumes on GO), no queued local packet, and no
+    /// re-injection or retransmission ready yet. Heap entries that become
+    /// ready later are covered by the scheduler's wake-up heap (one entry
+    /// per insertion), so the active-set scheduler may retire a NIC for
+    /// which this holds.
+    pub fn quiescent_for_tx(&self, cycle: u64) -> bool {
+        let ready = |heap: &BinaryHeap<Reverse<(u64, u32)>>| {
+            heap.peek().is_some_and(|Reverse((r, _))| *r <= cycle)
+        };
+        self.tx.is_none()
+            && self.local_queue.is_empty()
+            && !ready(&self.reinject)
+            && !ready(&self.retransmit)
+    }
+
     /// Anything left to do at this NIC?
     pub fn is_idle(&self) -> bool {
         self.tx.is_none()
@@ -184,6 +201,29 @@ mod tests {
         assert_eq!(n.pick_next_tx(20, true), Some((8, TxKind::Fresh)));
         assert_eq!(n.pick_next_tx(20, true), None);
         assert_eq!(n.pick_next_tx(50, true), Some((5, TxKind::Retransmit)));
+    }
+
+    #[test]
+    fn tx_quiescence_tracks_ready_cycles() {
+        let mut n = nic();
+        assert!(n.quiescent_for_tx(0));
+        n.reinject.push(Reverse((10, 1)));
+        assert!(
+            n.quiescent_for_tx(9),
+            "future-ready entry: wake-up covers it"
+        );
+        assert!(!n.quiescent_for_tx(10), "ready entry demands a visit");
+        n.reinject.clear();
+        n.tx = Some(TxState {
+            pid: 1,
+            sent: 0,
+            total: 4,
+            reinjection: false,
+        });
+        assert!(
+            !n.quiescent_for_tx(0),
+            "in-flight worm keeps the NIC active"
+        );
     }
 
     #[test]

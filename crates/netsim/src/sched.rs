@@ -1,0 +1,277 @@
+//! Cycle-loop scheduling strategies.
+//!
+//! The simulator's four hot phases (control arrivals, data arrivals,
+//! switches, NIC transmission) can be driven two ways:
+//!
+//! * [`Scheduler::Scan`] — the reference implementation: visit every
+//!   channel, switch and NIC on every cycle. Trivially correct, O(network
+//!   size) per cycle regardless of load.
+//! * [`Scheduler::ActiveSet`] — event-driven: every channel write registers
+//!   the channel in a per-cycle timing wheel (the arrival cycle is known at
+//!   send time because all channels share one pipeline delay), and
+//!   switches/NICs live in dedup'd active lists that members leave only
+//!   when provably quiescent. Per cycle the loop touches only components
+//!   with work, which at low offered load is a small fraction of the
+//!   network.
+//!
+//! Both schedulers are bit-identical: same `RunStats`, counters, event
+//! journal and trace digest. The scan loop's observable ordering (channel,
+//! switch and NIC index order within each phase) is reproduced by sorting
+//! each drained wheel bucket and each active list before visiting it, so
+//! the active set is a strict subsequence of the scan order. The
+//! determinism suite runs under either via `REGNET_SCHEDULER`, and the
+//! `scheduler_equivalence` integration test diffs the two end-to-end.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which cycle-loop driver [`crate::Simulator`] uses. See the module docs
+/// for the contract between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Full scan of every component every cycle (reference implementation).
+    Scan,
+    /// Timing-wheel wake-ups + dedup'd active lists (default; bit-identical
+    /// to `Scan`, much faster at low load).
+    #[default]
+    ActiveSet,
+}
+
+impl Scheduler {
+    /// Stable label (bench reports, CI matrix keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduler::Scan => "scan",
+            Scheduler::ActiveSet => "active-set",
+        }
+    }
+
+    /// Parse a label as written in bench reports or the
+    /// `REGNET_SCHEDULER` environment variable.
+    pub fn parse(s: &str) -> Option<Scheduler> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scan" => Some(Scheduler::Scan),
+            "active" | "active-set" | "activeset" | "active_set" => Some(Scheduler::ActiveSet),
+            _ => None,
+        }
+    }
+}
+
+/// Run-time state of the active-set scheduler.
+///
+/// Invariants:
+/// * A channel index appears in `data_wheel[c % delay]` whenever a flit was
+///   written that arrives at cycle `c` (`ctl_wheel` likewise for control
+///   symbols). Stale entries (the flit was purged or the cable died after
+///   registration) are harmless: the drain finds the slot empty and skips.
+/// * `sw_active` holds exactly the switch ids whose `sw_is_active` flag is
+///   set; a switch is listed whenever any of its input buffers holds a
+///   packet (a switch with empty input queues provably has idle heads and
+///   no crossbar connections, so visiting it is a no-op).
+/// * `nic_active`/`nic_is_active` likewise; a NIC is listed whenever its
+///   transmit phase has work *now* (in-flight tx, queued local packet,
+///   ready re-injection or retransmission). Heap entries that become ready
+///   in the future are covered by `nic_wake`, which gets an entry at every
+///   heap insertion.
+#[derive(Debug)]
+pub(crate) struct ActiveSched {
+    delay: u64,
+    data_wheel: Vec<Vec<u32>>,
+    ctl_wheel: Vec<Vec<u32>>,
+    /// Recycled bucket storage (capacity reuse across drains).
+    spare: Vec<Vec<u32>>,
+    sw_active: Vec<u32>,
+    sw_is_active: Vec<bool>,
+    nic_active: Vec<u32>,
+    nic_is_active: Vec<bool>,
+    /// `(ready_cycle, host)` wake-ups for NICs whose re-injection or
+    /// retransmission becomes eligible in the future.
+    nic_wake: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl ActiveSched {
+    pub fn new(delay: u32, n_switches: usize, n_nics: usize) -> ActiveSched {
+        assert!(delay > 0);
+        let delay = delay as u64;
+        ActiveSched {
+            delay,
+            data_wheel: (0..delay).map(|_| Vec::new()).collect(),
+            ctl_wheel: (0..delay).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            sw_active: Vec::new(),
+            sw_is_active: vec![false; n_switches],
+            nic_active: Vec::new(),
+            nic_is_active: vec![false; n_nics],
+            nic_wake: BinaryHeap::new(),
+        }
+    }
+
+    /// A data flit was written on channel `ci` at `cycle`; it arrives at
+    /// `cycle + delay`, whose bucket is the same `cycle % delay` index.
+    #[inline]
+    pub fn note_data(&mut self, cycle: u64, ci: u32) {
+        let idx = (cycle % self.delay) as usize;
+        self.data_wheel[idx].push(ci);
+    }
+
+    /// A control symbol was written on channel `ci` at `cycle`. Same bucket
+    /// arithmetic as `note_data` — which also covers the fault-phase case:
+    /// a symbol written in phase 0 of cycle `c` lands in the bucket drained
+    /// by *this* cycle's control phase, exactly when the scan loop would
+    /// read the (shared) slot.
+    #[inline]
+    pub fn note_ctl(&mut self, cycle: u64, ci: u32) {
+        let idx = (cycle % self.delay) as usize;
+        self.ctl_wheel[idx].push(ci);
+    }
+
+    /// Drain the data bucket for `cycle`: sorted and dedup'd so the caller
+    /// visits channels in scan (index) order. Return the bucket to
+    /// [`recycle`](ActiveSched::recycle) after processing.
+    pub fn take_data(&mut self, cycle: u64) -> Vec<u32> {
+        let idx = (cycle % self.delay) as usize;
+        let empty = self.spare.pop().unwrap_or_default();
+        let mut v = std::mem::replace(&mut self.data_wheel[idx], empty);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Drain the control bucket for `cycle` (see `take_data`).
+    pub fn take_ctl(&mut self, cycle: u64) -> Vec<u32> {
+        let idx = (cycle % self.delay) as usize;
+        let empty = self.spare.pop().unwrap_or_default();
+        let mut v = std::mem::replace(&mut self.ctl_wheel[idx], empty);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    pub fn recycle(&mut self, mut bucket: Vec<u32>) {
+        bucket.clear();
+        self.spare.push(bucket);
+    }
+
+    #[inline]
+    pub fn activate_switch(&mut self, sw: u32) {
+        if !self.sw_is_active[sw as usize] {
+            self.sw_is_active[sw as usize] = true;
+            self.sw_active.push(sw);
+        }
+    }
+
+    #[inline]
+    pub fn activate_nic(&mut self, h: u32) {
+        if !self.nic_is_active[h as usize] {
+            self.nic_is_active[h as usize] = true;
+            self.nic_active.push(h);
+        }
+    }
+
+    /// Register a future wake-up for `h` (a heap entry becoming ready at
+    /// `ready`). Stale wake-ups (the packet was purged meanwhile) cost one
+    /// no-op visit.
+    #[inline]
+    pub fn wake_nic_at(&mut self, ready: u64, h: u32) {
+        self.nic_wake.push(Reverse((ready, h)));
+    }
+
+    /// Move every wake-up due at or before `cycle` into the active list.
+    pub fn drain_wakes(&mut self, cycle: u64) {
+        while let Some(&Reverse((ready, h))) = self.nic_wake.peek() {
+            if ready > cycle {
+                break;
+            }
+            self.nic_wake.pop();
+            self.activate_nic(h);
+        }
+    }
+
+    /// Take the switch active list for this cycle's visit; members the
+    /// caller retires must be flagged via `retire_switch`, and the
+    /// still-active remainder merged back with `merge_switches`.
+    pub fn take_active_switches(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.sw_active)
+    }
+
+    pub fn retire_switch(&mut self, sw: u32) {
+        self.sw_is_active[sw as usize] = false;
+    }
+
+    pub fn merge_switches(&mut self, mut kept: Vec<u32>) {
+        self.sw_active.append(&mut kept);
+    }
+
+    pub fn take_active_nics(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.nic_active)
+    }
+
+    pub fn retire_nic(&mut self, h: u32) {
+        self.nic_is_active[h as usize] = false;
+    }
+
+    pub fn merge_nics(&mut self, mut kept: Vec<u32>) {
+        self.nic_active.append(&mut kept);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for s in [Scheduler::Scan, Scheduler::ActiveSet] {
+            assert_eq!(Scheduler::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scheduler::parse("active"), Some(Scheduler::ActiveSet));
+        assert_eq!(Scheduler::parse("nonsense"), None);
+        assert_eq!(Scheduler::default(), Scheduler::ActiveSet);
+    }
+
+    #[test]
+    fn wheel_buckets_sort_and_dedup() {
+        let mut s = ActiveSched::new(4, 1, 1);
+        s.note_data(10, 7);
+        s.note_data(10, 3);
+        s.note_data(10, 7);
+        // Cycle 14 maps to the same bucket (10 % 4 == 14 % 4).
+        assert_eq!(s.take_data(14), vec![3, 7]);
+        let b = s.take_data(14);
+        assert!(b.is_empty(), "bucket drained");
+        s.recycle(b);
+        // Recycled storage is reused.
+        s.note_ctl(0, 9);
+        assert_eq!(s.take_ctl(4), vec![9]);
+    }
+
+    #[test]
+    fn active_lists_dedup_and_retire() {
+        let mut s = ActiveSched::new(1, 3, 2);
+        s.activate_switch(2);
+        s.activate_switch(0);
+        s.activate_switch(2);
+        let list = s.take_active_switches();
+        assert_eq!(list, vec![2, 0], "dedup'd, caller sorts");
+        s.retire_switch(0);
+        s.merge_switches(vec![2]);
+        s.activate_switch(0); // re-activation after retire works
+        assert_eq!(s.take_active_switches(), vec![2, 0]);
+    }
+
+    #[test]
+    fn nic_wakes_fire_in_order() {
+        let mut s = ActiveSched::new(1, 1, 4);
+        s.wake_nic_at(20, 1);
+        s.wake_nic_at(10, 3);
+        s.wake_nic_at(15, 1);
+        s.drain_wakes(9);
+        assert!(s.take_active_nics().is_empty());
+        s.drain_wakes(15);
+        assert_eq!(s.take_active_nics(), vec![3, 1]);
+        s.retire_nic(3);
+        s.retire_nic(1);
+        s.drain_wakes(100);
+        assert_eq!(s.take_active_nics(), vec![1], "cycle-20 wake still fires");
+    }
+}

@@ -35,6 +35,7 @@ use crate::faultplan::{FaultEvent, FaultOptions, FaultRuntime, FaultTarget, Reli
 use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{Packet, PacketArena};
 use crate::profiler::{Phase, ProfileReport, Profiler};
+use crate::sched::{ActiveSched, Scheduler};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
 use crate::trace::{TraceOptions, TraceReport, TraceState};
 use crate::wfg::StallReport;
@@ -175,6 +176,9 @@ pub struct Simulator<'a> {
     /// Per-phase wall-time profiler; `None` (the default) keeps `step` on
     /// the untimed fast path.
     profiler: Option<Box<Profiler>>,
+    /// Active-set scheduler state; `None` runs the reference full-scan
+    /// cycle loop (see [`Scheduler`]).
+    sched: Option<Box<ActiveSched>>,
     /// Directed channel indices per physical link (both directions).
     link_chans: Vec<[u32; 2]>,
     /// `stop_generation` was called: never restart generators, even when a
@@ -313,8 +317,39 @@ impl<'a> Simulator<'a> {
             counters: None,
             journal: None,
             profiler: None,
+            sched: None,
             link_chans,
             gen_frozen: false,
+        }
+    }
+
+    /// Choose the cycle-loop driver. Must be called before the first
+    /// [`step`](Simulator::step): the active-set scheduler derives its
+    /// wake-ups from channel writes it observed, so it can only take over
+    /// an empty network. `Simulator::new` starts on [`Scheduler::Scan`];
+    /// the experiment driver applies `RunOptions::scheduler` (default
+    /// [`Scheduler::ActiveSet`]).
+    pub fn set_scheduler(&mut self, s: Scheduler) {
+        assert_eq!(
+            self.cycle, 0,
+            "scheduler must be selected before the first cycle"
+        );
+        self.sched = match s {
+            Scheduler::Scan => None,
+            Scheduler::ActiveSet => Some(Box::new(ActiveSched::new(
+                self.cfg.link_delay_cycles,
+                self.switches.len(),
+                self.nics.len(),
+            ))),
+        };
+    }
+
+    /// The cycle-loop driver in effect.
+    pub fn scheduler(&self) -> Scheduler {
+        if self.sched.is_some() {
+            Scheduler::ActiveSet
+        } else {
+            Scheduler::Scan
         }
     }
 
@@ -660,56 +695,119 @@ impl<'a> Simulator<'a> {
 
     /// Phase 1: control-symbol arrivals flip sender flags.
     fn ctl_phase(&mut self, cycle: u64) {
-        for i in 0..self.channels.len() {
-            let symbol = self.channels[i].take_ctl_arrival(cycle);
-            if symbol == CTL_NONE {
-                continue;
-            }
-            let stopped = symbol == CTL_STOP;
-            if let Some(c) = &mut self.counters {
-                if stopped {
-                    c.ctl_stops += 1;
-                } else {
-                    c.ctl_gos += 1;
+        if self.sched.is_some() {
+            let bucket = self.sched.as_mut().unwrap().take_ctl(cycle);
+            for &ci in &bucket {
+                let symbol = self.channels[ci as usize].take_ctl_arrival(cycle);
+                if symbol != CTL_NONE {
+                    self.deliver_ctl(ci as usize, symbol, cycle);
                 }
             }
-            match self.channels[i].sender {
-                Sender::SwitchOut { sw, port } => {
-                    self.switches[sw as usize].outp[port as usize]
-                        .as_mut()
-                        .expect("ctl for unconnected port")
-                        .stopped = stopped;
+            self.sched.as_mut().unwrap().recycle(bucket);
+        } else {
+            for i in 0..self.channels.len() {
+                let symbol = self.channels[i].take_ctl_arrival(cycle);
+                if symbol != CTL_NONE {
+                    self.deliver_ctl(i, symbol, cycle);
                 }
-                Sender::Nic { host } => self.nics[host as usize].stopped = stopped,
             }
+        }
+    }
+
+    /// Deliver one control symbol to channel `i`'s sender. Control traffic
+    /// counts as activity for the watchdog: a long STOP/GO exchange with no
+    /// data arrivals is a flow-controlled network, not a stall.
+    fn deliver_ctl(&mut self, i: usize, symbol: u8, cycle: u64) {
+        let stopped = symbol == CTL_STOP;
+        if let Some(c) = &mut self.counters {
+            if stopped {
+                c.ctl_stops += 1;
+            } else {
+                c.ctl_gos += 1;
+            }
+        }
+        self.last_activity = cycle;
+        match self.channels[i].sender {
+            Sender::SwitchOut { sw, port } => {
+                self.switches[sw as usize].outp[port as usize]
+                    .as_mut()
+                    .expect("ctl for unconnected port")
+                    .stopped = stopped;
+            }
+            Sender::Nic { host } => self.nics[host as usize].stopped = stopped,
         }
     }
 
     /// Phase 2: data arrivals.
     fn arrival_phase(&mut self, cycle: u64) {
-        for i in 0..self.channels.len() {
-            let Some(pid) = self.channels[i].take_arrival(cycle) else {
-                continue;
-            };
-            self.last_activity = cycle;
-            match self.channels[i].receiver {
-                Receiver::SwitchIn { sw, port } => self.switch_rx(sw, port, pid, cycle),
-                Receiver::Nic { host } => self.nic_rx(host, pid, cycle),
+        if self.sched.is_some() {
+            let bucket = self.sched.as_mut().unwrap().take_data(cycle);
+            for &ci in &bucket {
+                if let Some(pid) = self.channels[ci as usize].take_arrival(cycle) {
+                    self.deliver_data(ci as usize, pid, cycle);
+                }
             }
+            self.sched.as_mut().unwrap().recycle(bucket);
+        } else {
+            for i in 0..self.channels.len() {
+                if let Some(pid) = self.channels[i].take_arrival(cycle) {
+                    self.deliver_data(i, pid, cycle);
+                }
+            }
+        }
+    }
+
+    fn deliver_data(&mut self, i: usize, pid: u32, cycle: u64) {
+        self.last_activity = cycle;
+        match self.channels[i].receiver {
+            Receiver::SwitchIn { sw, port } => self.switch_rx(sw, port, pid, cycle),
+            Receiver::Nic { host } => self.nic_rx(host, pid, cycle),
         }
     }
 
     /// Phase 3: switches route, arbitrate and transfer.
     fn switches_phase(&mut self, cycle: u64) {
-        for s in 0..self.switches.len() {
-            self.switch_phase(s, cycle);
+        if self.sched.is_some() {
+            let mut list = self.sched.as_mut().unwrap().take_active_switches();
+            list.sort_unstable();
+            list.retain(|&s| {
+                self.switch_phase(s as usize, cycle);
+                if self.switches[s as usize].is_quiescent() {
+                    self.sched.as_mut().unwrap().retire_switch(s);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.sched.as_mut().unwrap().merge_switches(list);
+        } else {
+            for s in 0..self.switches.len() {
+                self.switch_phase(s, cycle);
+            }
         }
     }
 
     /// Phase 4: NIC transmission.
     fn nic_tx_phase(&mut self, cycle: u64) {
-        for h in 0..self.nics.len() {
-            self.nic_tx(h, cycle);
+        if self.sched.is_some() {
+            let sc = self.sched.as_mut().unwrap();
+            sc.drain_wakes(cycle);
+            let mut list = sc.take_active_nics();
+            list.sort_unstable();
+            list.retain(|&h| {
+                self.nic_tx(h as usize, cycle);
+                if self.nics[h as usize].quiescent_for_tx(cycle) {
+                    self.sched.as_mut().unwrap().retire_nic(h);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.sched.as_mut().unwrap().merge_nics(list);
+        } else {
+            for h in 0..self.nics.len() {
+                self.nic_tx(h, cycle);
+            }
         }
     }
 
@@ -747,6 +845,11 @@ impl<'a> Simulator<'a> {
     }
 
     fn switch_rx(&mut self, sw: u32, port: u8, pid: u32, cycle: u64) {
+        if let Some(sc) = self.sched.as_deref_mut() {
+            // A flit in an input buffer is exactly what keeps a switch in
+            // the active set.
+            sc.activate_switch(sw);
+        }
         let inp = self.switches[sw as usize].inp[port as usize]
             .as_mut()
             .expect("flit into unconnected port");
@@ -782,6 +885,9 @@ impl<'a> Simulator<'a> {
         if let Some(ctl) = inp.on_flit_in(&self.cfg) {
             let chan = inp.in_chan;
             self.channels[chan as usize].send_ctl(cycle, ctl);
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.note_ctl(cycle, chan);
+            }
         }
     }
 
@@ -825,6 +931,9 @@ impl<'a> Simulator<'a> {
                             if let Some(ctl) = inp.on_flit_out(cfg) {
                                 let chan = inp.in_chan;
                                 self.channels[chan as usize].send_ctl(cycle, ctl);
+                                if let Some(sc) = self.sched.as_deref_mut() {
+                                    sc.note_ctl(cycle, chan);
+                                }
                             }
                             if faults_on {
                                 // Routing towards a dead cable (or a port
@@ -976,12 +1085,18 @@ impl<'a> Simulator<'a> {
             let done = head.done();
             self.channels[out_chan as usize].send(cycle, pid);
             self.last_activity = cycle;
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.note_data(cycle, out_chan);
+            }
             if let Some(c) = &mut self.counters {
                 c.flits_forwarded += 1;
             }
             if let Some(ctl) = inp.on_flit_out(cfg) {
                 let chan = inp.in_chan;
                 self.channels[chan as usize].send_ctl(cycle, ctl);
+                if let Some(sc) = self.sched.as_deref_mut() {
+                    sc.note_ctl(cycle, chan);
+                }
             }
             if done {
                 inp.queue.pop_front();
@@ -1050,6 +1165,9 @@ impl<'a> Simulator<'a> {
                     pkt.seg += 1;
                     pkt.hop = 0;
                     self.nics[h].reinject.push(std::cmp::Reverse((ready, pid)));
+                    if let Some(sc) = self.sched.as_deref_mut() {
+                        sc.wake_nic_at(ready, host);
+                    }
                     if let Some(tr) = &mut self.trace {
                         tr.on_itb_eject(cycle, pid);
                     }
@@ -1242,6 +1360,9 @@ impl<'a> Simulator<'a> {
         }
         self.channels[nic.out_chan as usize].send(cycle, tx.pid);
         self.last_activity = cycle;
+        if let Some(sc) = self.sched.as_deref_mut() {
+            sc.note_data(cycle, nic.out_chan);
+        }
         if let Some(c) = &mut self.counters {
             c.flits_injected += 1;
         }
@@ -1344,6 +1465,9 @@ impl<'a> Simulator<'a> {
             };
             let pid = self.arena.insert(pkt);
             self.nics[src.idx()].local_queue.push_back(pid);
+        }
+        if let Some(sc) = self.sched.as_deref_mut() {
+            sc.activate_nic(src.0);
         }
         if self.measure.on {
             self.measure.generated += 1;
@@ -1769,9 +1893,11 @@ impl<'a> Simulator<'a> {
             pkt.hop = 0;
             pkt.itbs_used = 0;
             pkt.inject_cycle = u64::MAX;
-            self.nics[src.idx()]
-                .retransmit
-                .push(Reverse((cycle + self.cfg.retransmit_timeout_cycles, pid)));
+            let due = cycle + self.cfg.retransmit_timeout_cycles;
+            self.nics[src.idx()].retransmit.push(Reverse((due, pid)));
+            if let Some(sc) = self.sched.as_deref_mut() {
+                sc.wake_nic_at(due, src.0);
+            }
             self.faults.as_deref_mut().unwrap().rel.retransmissions += 1;
             if let Some(c) = &mut self.counters {
                 c.retransmits += 1;
@@ -1840,7 +1966,17 @@ impl<'a> Simulator<'a> {
                 };
                 let in_chan = inp.in_chan;
                 if let Some(sym) = ctl {
-                    self.channels[in_chan as usize].send_ctl(cycle, sym);
+                    // The purge can run in phase 0, before this cycle's
+                    // control arrivals were taken; discard any symbol
+                    // arriving right now explicitly (the scan loop used to
+                    // overwrite it in place) so `send_ctl`'s call-order
+                    // check holds.
+                    let ch = &mut self.channels[in_chan as usize];
+                    let _ = ch.take_ctl_arrival(cycle);
+                    ch.send_ctl(cycle, sym);
+                    if let Some(sc) = self.sched.as_deref_mut() {
+                        sc.note_ctl(cycle, in_chan);
+                    }
                 }
                 if let Some(po) = clear_out {
                     if let Some(o) = self.switches[s].outp[po as usize].as_mut() {
@@ -2223,5 +2359,89 @@ mod tests {
                 idle.summary
             );
         }
+    }
+
+    #[test]
+    fn watchdog_tolerates_long_stop_go_exchanges() {
+        use crate::channel::{CTL_GO, CTL_STOP};
+        use regnet_topology::HostId;
+
+        // Regression: control-symbol arrivals must count as watchdog
+        // activity. A worm held by STOP for longer than `watchdog_cycles`
+        // is a flow-controlled network, not a stall; before the fix the
+        // watchdog panicked here once the in-flight data drained.
+        let mut b = TopologyBuilder::new("line2", 4);
+        b.add_switches(2);
+        b.connect(SwitchId(0), SwitchId(1)).unwrap();
+        b.attach_hosts_everywhere(1).unwrap();
+        let topo = b.build().unwrap();
+        let cfg = SimConfig {
+            payload_flits: 4_000,
+            watchdog_cycles: 200,
+            ..SimConfig::default()
+        };
+        let db = RouteDb::build(&topo, RoutingScheme::UpDown, &RouteDbConfig::default());
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let mut sim = Simulator::new(&topo, &db, &pattern, cfg, 1e-9, 1);
+        sim.stop_generation();
+        sim.begin_measurement();
+        sim.schedule_message(HostId(0), HostId(1), 0);
+
+        // Let the worm start streaming.
+        let mut guard = 0;
+        while sim.nics[0].tx.is_none() {
+            sim.step();
+            guard += 1;
+            assert!(guard < 1_000, "worm never started");
+        }
+        sim.run(30);
+
+        // Impersonate the downstream switch: one STOP per cycle holds the
+        // source NIC for 1_000 cycles — five watchdog windows. The flits
+        // already in flight drain within a few dozen cycles; from then on
+        // the STOP stream is the only activity in the network.
+        let stop_chan = sim.nics[0].out_chan as usize;
+        for _ in 0..1_000 {
+            let c = sim.cycle;
+            sim.step();
+            sim.channels[stop_chan].send_ctl(c, CTL_STOP);
+        }
+        assert!(sim.nics[0].stopped, "STOP stream should hold the NIC");
+        assert!(
+            sim.nics[0].tx.is_some(),
+            "the worm must still be mid-transmission"
+        );
+        assert_eq!(sim.packets_in_flight(), 1);
+
+        // Release the worm and check it completes.
+        let c = sim.cycle;
+        sim.step();
+        sim.channels[stop_chan].send_ctl(c, CTL_GO);
+        assert!(
+            sim.run_until_drained(100_000).is_some(),
+            "worm failed to finish after GO:\n{}",
+            sim.dump_state()
+        );
+        let window = sim.cycle;
+        let stats = sim.end_measurement(window);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn scan_and_active_set_schedulers_agree() {
+        let topo = build_ring4();
+        let db = RouteDb::build(&topo, RoutingScheme::ItbRr, &RouteDbConfig::default());
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let run = |scheduler: Scheduler| {
+            let mut sim = Simulator::new(&topo, &db, &pattern, small_cfg(), 0.01, 11);
+            sim.set_scheduler(scheduler);
+            sim.run(2_000);
+            sim.begin_measurement();
+            sim.run(30_000);
+            sim.end_measurement(30_000)
+        };
+        let scan = run(Scheduler::Scan);
+        let active = run(Scheduler::ActiveSet);
+        assert_eq!(scan, active, "schedulers must be bit-identical");
     }
 }

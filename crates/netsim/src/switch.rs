@@ -157,6 +157,27 @@ pub struct SwitchState {
     pub active_ports: Vec<u8>,
 }
 
+impl SwitchState {
+    /// No packet resident in any input buffer. Under that condition a
+    /// switch-phase visit is provably a no-op — every head is `Idle` (head
+    /// state always refers to `queue[0]`) and no crossbar connection is
+    /// held (connections are cleared when the worm completes or is
+    /// purged) — so the active-set scheduler may retire the switch until
+    /// the next flit arrives.
+    pub fn is_quiescent(&self) -> bool {
+        let quiet = self.inp.iter().flatten().all(|p| p.queue.is_empty());
+        debug_assert!(
+            !quiet || self.inp.iter().flatten().all(|p| p.head == HeadState::Idle),
+            "empty input queues with a non-idle head"
+        );
+        debug_assert!(
+            !quiet || self.outp.iter().flatten().all(|o| o.conn_in.is_none()),
+            "empty input queues with a live crossbar connection"
+        );
+        quiet
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,7 +74,8 @@ pub mod prelude {
     pub use regnet_netsim::{
         BlockCause, CounterSnapshot, EventJournal, EventKind, EventMask, EventOptions, FaultEvent,
         FaultOptions, FaultPlan, FaultTarget, GenerationProcess, ProfileReport, ReliabilityStats,
-        RunStats, SimConfig, Simulator, StallClass, StallReport, TraceOptions, TraceReport,
+        RunStats, Scheduler, SimConfig, Simulator, StallClass, StallReport, TraceOptions,
+        TraceReport,
     };
     pub use regnet_routing::{LegalDistances, SwitchPath};
     pub use regnet_topology::{

@@ -8,12 +8,25 @@
 
 use regnet::prelude::*;
 
+/// Cycle-loop scheduler under test. CI runs the whole suite once per
+/// scheduler by setting `REGNET_SCHEDULER=scan|active-set`; unset means
+/// the default ([`Scheduler::ActiveSet`]).
+fn scheduler() -> Scheduler {
+    match std::env::var("REGNET_SCHEDULER") {
+        Ok(v) => {
+            Scheduler::parse(&v).unwrap_or_else(|| panic!("unknown REGNET_SCHEDULER value {v:?}"))
+        }
+        Err(_) => Scheduler::default(),
+    }
+}
+
 fn opts(seed: u64) -> RunOptions {
     RunOptions {
         warmup_cycles: 2_000,
         measure_cycles: 10_000,
         seed,
         trace: TraceOptions::digest_only(),
+        scheduler: scheduler(),
         ..RunOptions::default()
     }
 }

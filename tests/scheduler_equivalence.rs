@@ -1,0 +1,212 @@
+//! Scheduler equivalence suite: the active-set cycle loop must be
+//! bit-identical to the full-scan reference — same `RunStats`, same
+//! unified counters, same delivered-message trace digest — on every
+//! paper topology × routing scheme, with and without faults, and the
+//! exported Chrome trace must match byte for byte.
+//!
+//! The scan loop stays in the tree precisely so this suite has a ground
+//! truth to diff against; see `DESIGN.md` §4e.
+
+use regnet::prelude::*;
+
+fn opts(scheduler: Scheduler) -> RunOptions {
+    RunOptions {
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+        seed: 42,
+        trace: TraceOptions::digest_only(),
+        counters: true,
+        scheduler,
+        ..RunOptions::default()
+    }
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    }
+}
+
+fn run_once(
+    build: fn() -> Topology,
+    scheme: RoutingScheme,
+    scheduler: Scheduler,
+) -> (RunStats, u64, u64) {
+    let exp = Experiment::new(
+        build(),
+        scheme,
+        RouteDbConfig::default(),
+        PatternSpec::Uniform,
+        cfg(),
+    )
+    .unwrap();
+    let (stats, trace) = exp.run_traced(0.01, &opts(scheduler));
+    let trace = trace.expect("digest observer was enabled");
+    (
+        stats,
+        trace.digest.expect("digest recorded"),
+        trace.digest_events,
+    )
+}
+
+fn assert_equivalent(build: fn() -> Topology, scheme: RoutingScheme) {
+    let (s_scan, d_scan, n_scan) = run_once(build, scheme, Scheduler::Scan);
+    let (s_active, d_active, n_active) = run_once(build, scheme, Scheduler::ActiveSet);
+    let name = build().name().to_string();
+    assert_eq!(
+        s_scan.counters, s_active.counters,
+        "counter snapshots diverged between schedulers ({name} {scheme:?})"
+    );
+    assert_eq!(
+        s_scan, s_active,
+        "RunStats diverged between schedulers ({name} {scheme:?})"
+    );
+    assert_eq!(
+        (d_scan, n_scan),
+        (d_active, n_active),
+        "trace digest diverged between schedulers ({name} {scheme:?})"
+    );
+    assert!(n_scan > 0, "expected deliveries during the window");
+    assert!(
+        s_scan
+            .counters
+            .as_ref()
+            .is_some_and(|c| c.total_events() > 0),
+        "the equivalence must cover real traffic"
+    );
+}
+
+fn torus() -> Topology {
+    gen::torus_2d(8, 8, 8).unwrap()
+}
+
+fn express() -> Topology {
+    gen::torus_2d_express(8, 8, 8).unwrap()
+}
+
+fn cplant() -> Topology {
+    gen::cplant().unwrap()
+}
+
+#[test]
+fn torus_updown_schedulers_agree() {
+    assert_equivalent(torus, RoutingScheme::UpDown);
+}
+
+#[test]
+fn torus_itb_sp_schedulers_agree() {
+    assert_equivalent(torus, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn torus_itb_rr_schedulers_agree() {
+    assert_equivalent(torus, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn express_updown_schedulers_agree() {
+    assert_equivalent(express, RoutingScheme::UpDown);
+}
+
+#[test]
+fn express_itb_sp_schedulers_agree() {
+    assert_equivalent(express, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn express_itb_rr_schedulers_agree() {
+    assert_equivalent(express, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn cplant_updown_schedulers_agree() {
+    assert_equivalent(cplant, RoutingScheme::UpDown);
+}
+
+#[test]
+fn cplant_itb_sp_schedulers_agree() {
+    assert_equivalent(cplant, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn cplant_itb_rr_schedulers_agree() {
+    assert_equivalent(cplant, RoutingScheme::ItbRr);
+}
+
+/// Faults exercise the phase-0 control path (purge GO symbols delivered
+/// the same cycle) and the retransmission wake-ups; the schedulers must
+/// agree there too.
+#[test]
+fn faulted_run_schedulers_agree() {
+    let run = |scheduler: Scheduler| {
+        let topo = torus();
+        let link = topo
+            .links()
+            .iter()
+            .find(|l| l.is_switch_link())
+            .expect("switch link")
+            .id;
+        let mut plan = FaultPlan::single_link(link, 4_000);
+        plan.repair_link(9_000, link);
+        let exp = Experiment::new(
+            topo,
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(),
+        )
+        .unwrap();
+        let run_opts = RunOptions {
+            faults: Some(FaultOptions::with_plan(plan)),
+            ..opts(scheduler)
+        };
+        exp.run_reliability(0.01, &run_opts)
+    };
+    let (s_scan, r_scan, t_scan) = run(Scheduler::Scan);
+    let (s_active, r_active, t_active) = run(Scheduler::ActiveSet);
+    assert_eq!(s_scan, s_active, "RunStats diverged under faults");
+    assert_eq!(r_scan, r_active, "ReliabilityStats diverged under faults");
+    let (t_scan, t_active) = (t_scan.unwrap(), t_active.unwrap());
+    assert_eq!(
+        (t_scan.digest, t_scan.digest_events),
+        (t_active.digest, t_active.digest_events),
+        "trace digest diverged under faults"
+    );
+    assert!(
+        r_scan.link_failures == 1 && r_scan.repairs == 1,
+        "the plan must have fired: {r_scan:?}"
+    );
+}
+
+/// The full observability stack — event journal exported as a Chrome
+/// trace — must come out byte-identical under either scheduler.
+#[test]
+fn chrome_trace_export_schedulers_agree() {
+    let run = |scheduler: Scheduler| {
+        let exp = Experiment::new(
+            gen::torus_2d(4, 4, 4).unwrap(),
+            RoutingScheme::ItbRr,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(),
+        )
+        .unwrap();
+        let obs = exp.run_observed(
+            0.01,
+            &RunOptions {
+                events: Some(EventOptions::default()),
+                ..opts(scheduler)
+            },
+        );
+        (
+            obs.stats,
+            obs.journal.expect("journal enabled").to_chrome().to_json(),
+        )
+    };
+    let (s_scan, t_scan) = run(Scheduler::Scan);
+    let (s_active, t_active) = run(Scheduler::ActiveSet);
+    assert_eq!(s_scan, s_active, "RunStats diverged with observers on");
+    assert_eq!(t_scan, t_active, "Chrome trace export diverged");
+    assert!(!t_scan.is_empty());
+}
