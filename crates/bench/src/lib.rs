@@ -111,32 +111,10 @@ pub fn experiment(topo: Topology, scheme: RoutingScheme, pattern: PatternSpec) -
     .expect("experiment construction")
 }
 
-/// Number of worker threads for sweeps. `REGNET_THREADS=<n>` overrides the
-/// detected parallelism (useful for CI runners and reproducible timings).
-///
-/// The environment is read once, on first call; later mutations of
-/// `REGNET_THREADS` (e.g. by tests running in the same process) have no
-/// effect. The override logic itself lives in [`threads_from`].
-pub fn threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| threads_from(std::env::var("REGNET_THREADS").ok().as_deref()))
-}
-
-/// Worker-thread count given the raw `REGNET_THREADS` value, if any: a
-/// positive integer wins; anything else (including `None`) falls back to
-/// the detected parallelism. Pure, so tests can cover the override rules
-/// without mutating process-global environment state.
-pub fn threads_from(override_var: Option<&str>) -> usize {
-    if let Some(v) = override_var {
-        match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!("ignoring invalid REGNET_THREADS={v:?}"),
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}
+// Worker-thread sizing (`REGNET_THREADS`) now lives next to the parallel
+// cycle engine that shares it; re-exported here so the bench binaries and
+// downstream callers keep their `regnet_bench::threads()` spelling.
+pub use regnet_netsim::threads::{threads, threads_from};
 
 /// Parse every `--fail-link <id>@<cycle>` occurrence in `args` into a
 /// fault plan; `None` when the flag is absent. Shared by the probe and

@@ -20,8 +20,10 @@ use serde::{Deserialize, Serialize};
 
 /// Schema tag written into every report, bumped on layout changes.
 /// v2 added the `scheduler` and `load` cell fields (cycle-loop scheduler
-/// comparison columns).
-pub const BENCH_SCHEMA: &str = "regnet-bench-v2";
+/// comparison columns); v3 added the optional `threads` cell field (the
+/// shard-parallel engine's thread-scaling column). [`check_against`]
+/// still accepts v2 and v1 baselines.
+pub const BENCH_SCHEMA: &str = "regnet-bench-v3";
 
 /// Default relative-slowdown threshold for [`check_against`].
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
@@ -35,10 +37,14 @@ pub struct BenchCell {
     pub scheme: String,
     /// Whether the observers (counters + event journal + profiler) were on.
     pub traced: bool,
-    /// Cycle-loop scheduler label (`scan` / `active-set`).
+    /// Cycle-loop scheduler label (`scan` / `active-set` / `parallel`).
     pub scheduler: String,
     /// Offered load the cell was measured at (flits/ns/switch).
     pub load: f64,
+    /// Shard/thread count for the `parallel` scheduler; `None` (JSON
+    /// `null`) for the sequential engines. Pre-v3 baselines lack the
+    /// field entirely — [`check_against`] treats both the same way.
+    pub threads: Option<usize>,
     /// Measured cycles (the measurement window, warmup excluded).
     pub cycles: u64,
     /// Wall time of the measurement window, ns.
@@ -54,11 +60,15 @@ pub struct BenchCell {
 impl BenchCell {
     /// Stable identity of a cell across runs.
     pub fn key(&self) -> String {
+        let sched = match self.threads {
+            Some(t) => format!("{}:{t}", self.scheduler),
+            None => self.scheduler.clone(),
+        };
         format!(
             "{}/{}/{}/{}@{}",
             self.topo,
             self.scheme,
-            self.scheduler,
+            sched,
             if self.traced { "traced" } else { "plain" },
             self.load
         )
@@ -148,17 +158,22 @@ pub fn check_against(
             (Some(t), Some(s), Some(tr), Some(c)) => (t, s, tr, c),
             _ => return Err("baseline cell missing topo/scheme/traced/cycles_per_sec".into()),
         };
-        // Pre-v2 baselines carry no scheduler/load fields; such cells
-        // match on the legacy key only (topo, scheme, traced) — document
-        // order puts the default-matrix cells first, so they win.
+        // Pre-v2 baselines carry no scheduler/load fields, pre-v3 no
+        // threads field; such cells match on the fields they do carry —
+        // document order puts the default-matrix cells first, so they win.
         let base_sched = cell.get("scheduler").and_then(|v| v.as_str());
         let base_load = cell.get("load").and_then(|v| v.as_f64());
+        let base_threads = cell
+            .get("threads")
+            .and_then(|v| v.as_f64())
+            .map(|t| t as usize);
         let Some(cur) = current.cells.iter().find(|c| {
             c.topo == topo
                 && c.scheme == scheme
                 && c.traced == traced
                 && base_sched.is_none_or(|s| c.scheduler == s)
                 && base_load.is_none_or(|l| c.load == l)
+                && base_threads.is_none_or(|t| c.threads == Some(t))
         }) else {
             continue; // baseline cell not in this run (e.g. different mode)
         };
@@ -200,11 +215,19 @@ mod tests {
             traced: false,
             scheduler: scheduler.to_string(),
             load,
+            threads: None,
             cycles: 20_000,
             wall_ns: 1_000_000,
             cycles_per_sec: cps,
             events_per_sec: 0.0,
             phases: Vec::new(),
+        }
+    }
+
+    fn par_cell(threads: usize, cps: f64) -> BenchCell {
+        BenchCell {
+            threads: Some(threads),
+            ..cell("parallel", 0.05, cps)
         }
     }
 
@@ -282,6 +305,46 @@ mod tests {
         let lines = check_against(&report(1e6, 5e5), legacy, 0.15).unwrap();
         assert_eq!(lines.len(), 1);
         assert!(!lines[0].regressed);
+    }
+
+    #[test]
+    fn threads_disambiguate_parallel_cells() {
+        // Three parallel cells differing only in thread count: each must
+        // check against its own counterpart, and the key shows the count.
+        let mut base = report(1e6, 0.0);
+        base.cells = vec![par_cell(1, 1e5), par_cell(2, 2e5), par_cell(4, 4e5)];
+        let mut cur = base.clone();
+        cur.cells[2].cycles_per_sec = 1e5; // the 4-thread cell regresses 75%
+        let lines = check_against(&cur, &base.to_json(), 0.15).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].regressed && !lines[1].regressed, "{lines:?}");
+        assert!(lines[2].regressed, "{lines:?}");
+        assert!(lines[2].key.contains("parallel:4"), "{}", lines[2].key);
+    }
+
+    #[test]
+    fn v2_baseline_without_threads_still_checks() {
+        // A v2 baseline cell (scheduler/load but no threads member) must
+        // match the sequential cell, not a parallel one with the same
+        // topo/scheme/load.
+        let v2 = r#"{
+            "calibration_cycles_per_sec": 1e6,
+            "cells": [{"topo": "torus", "scheme": "itb-rr", "traced": false,
+                       "scheduler": "active-set", "load": 0.05,
+                       "cycles_per_sec": 5e5}]
+        }"#;
+        let mut cur = report(1e6, 0.0);
+        cur.cells = vec![
+            BenchCell {
+                load: 0.05,
+                ..cell("active-set", 0.05, 5e5)
+            },
+            par_cell(4, 1e3),
+        ];
+        let lines = check_against(&cur, v2, 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].regressed, "{lines:?}");
+        assert!(lines[0].key.contains("active-set"), "{}", lines[0].key);
     }
 
     #[test]

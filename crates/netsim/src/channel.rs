@@ -184,6 +184,77 @@ impl Channel {
     }
 }
 
+/// Raw-pointer projections for the shard-parallel engine (`crate::par`).
+///
+/// Within one region of a parallel cycle a channel can be touched by two
+/// shards at once, but always through *disjoint fields*: the shard owning
+/// the receiver drains `data`/`busy_cycles` while the shard owning the
+/// sender drains `ctl`, and in the switch/NIC region the channel's unique
+/// data sender writes `data` while the receiving in-port's shard writes
+/// `ctl`/`ctl_written_at`. These helpers therefore never materialize a
+/// `&mut Channel`; each accesses only the fields named in its body
+/// (`sender`, `receiver`, `delay` and `dead` are read-only during a
+/// fault-free run). Keep them in lockstep with the methods above.
+pub(crate) mod raw {
+    use super::{Channel, CTL_NONE};
+    use crate::packet::NO_PACKET;
+
+    #[inline]
+    unsafe fn slot(c: *const Channel, cycle: u64) -> usize {
+        (cycle % (*c).delay as u64) as usize
+    }
+
+    /// Mirror of [`Channel::take_arrival`].
+    #[inline]
+    pub(crate) unsafe fn take_arrival(c: *mut Channel, cycle: u64) -> Option<u32> {
+        let s = slot(c, cycle);
+        let v = (*c).data[s];
+        if v == NO_PACKET {
+            None
+        } else {
+            (*c).data[s] = NO_PACKET;
+            (*c).busy_cycles += 1;
+            Some(v)
+        }
+    }
+
+    /// Mirror of [`Channel::send`].
+    #[inline]
+    pub(crate) unsafe fn send(c: *mut Channel, cycle: u64, packet: u32) {
+        if (*c).dead {
+            return;
+        }
+        let s = slot(c, cycle);
+        debug_assert_eq!((*c).data[s], NO_PACKET, "channel slot collision");
+        (*c).data[s] = packet;
+    }
+
+    /// Mirror of [`Channel::take_ctl_arrival`].
+    #[inline]
+    pub(crate) unsafe fn take_ctl_arrival(c: *mut Channel, cycle: u64) -> u8 {
+        let s = slot(c, cycle);
+        let v = (*c).ctl[s];
+        (*c).ctl[s] = CTL_NONE;
+        v
+    }
+
+    /// Mirror of [`Channel::send_ctl`].
+    #[inline]
+    pub(crate) unsafe fn send_ctl(c: *mut Channel, cycle: u64, symbol: u8) {
+        if (*c).dead {
+            return;
+        }
+        let s = slot(c, cycle);
+        debug_assert!(
+            (*c).ctl[s] == CTL_NONE || (*c).ctl_written_at == cycle,
+            "send_ctl would clobber an undelivered control symbol \
+             (call take_ctl_arrival for this cycle first)"
+        );
+        (*c).ctl[s] = symbol;
+        (*c).ctl_written_at = cycle;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,8 +108,15 @@ where
             }));
         }
         for h in handles {
-            for (i, v) in h.join().expect("par_map worker panicked") {
-                out[i] = Some(v);
+            // Propagate a worker panic with its original payload (message,
+            // location context) instead of a generic "worker panicked".
+            match h.join() {
+                Ok(results) => {
+                    for (i, v) in results {
+                        out[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
@@ -451,6 +458,29 @@ mod tests {
             );
             assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
         }
+    }
+
+    #[test]
+    fn par_map_surfaces_worker_panic_message() {
+        let err = std::panic::catch_unwind(|| {
+            par_map(8, 3, |i| {
+                if i == 5 {
+                    panic!("index 5 exploded");
+                }
+                i * 2
+            })
+        })
+        .expect_err("the worker panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("panic payload should be a string");
+        assert!(
+            msg.contains("index 5 exploded"),
+            "original panic message lost: {msg:?}"
+        );
     }
 
     #[test]

@@ -61,10 +61,13 @@ pub mod experiment;
 pub mod faultplan;
 mod nic;
 mod packet;
+mod par;
+pub mod partition;
 pub mod profiler;
 mod sched;
 mod sim;
 mod switch;
+pub mod threads;
 pub mod trace;
 pub mod wfg;
 
@@ -72,6 +75,7 @@ pub use config::{GenerationProcess, SimConfig, CYCLE_NS};
 pub use counters::CounterSnapshot;
 pub use events::{BlockCause, Event, EventJournal, EventKind, EventMask, EventOptions, NO_PACKET};
 pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
+pub use partition::ShardPlan;
 pub use profiler::{PhaseProfile, ProfileReport, PHASE_NAMES};
 pub use sched::Scheduler;
 pub use sim::{ChannelDesc, RunStats, Simulator};

@@ -1,0 +1,177 @@
+//! Topology-aware sharding for the parallel cycle engine.
+//!
+//! A [`ShardPlan`] assigns every switch and every NIC to exactly one
+//! shard. Switches are laid out in BFS order over the switch graph
+//! (neighbours visited in port order, disconnected components seeded in
+//! switch-index order) and that linear order is cut into `n_shards`
+//! contiguous blocks, so the mesh/torus neighbourhood structure keeps most
+//! links intra-shard. NICs follow the switch they attach to, which makes
+//! every NIC↔switch channel intra-shard by construction; only
+//! switch↔switch links can cross shards, and every channel carries the
+//! `delay ≥ 1` lookahead the barrier design relies on (asserted by
+//! `Channel::new`, revalidated by the partition proptest).
+//!
+//! Invariants (checked by `tests/partition_invariants.rs`):
+//! * every switch and NIC is in exactly one shard;
+//! * all shards are non-empty and switch counts are balanced within a
+//!   factor of 2 (blocks differ by at most one switch);
+//! * the plan is a pure function of the topology and the shard count — no
+//!   RNG, no iteration-order dependence — so every run of the same
+//!   configuration shards identically.
+
+use regnet_topology::Topology;
+
+/// A deterministic assignment of switches and NICs to shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    n_shards: usize,
+    /// Shard of each switch, indexed by switch id.
+    switch_shard: Vec<u32>,
+    /// Shard of each NIC, indexed by host id.
+    nic_shard: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Build a plan with `min(requested, num_switches)` shards (a shard
+    /// with no switches would be pure overhead). `requested` must be ≥ 1.
+    pub fn new(topo: &Topology, requested: usize) -> ShardPlan {
+        assert!(requested >= 1, "shard count must be at least 1");
+        let n_sw = topo.num_switches();
+        let n_shards = requested.min(n_sw).max(1);
+
+        // BFS over the switch graph. `ports_of`/`switch_neighbors` yield
+        // neighbours in port order, and component seeds come in index
+        // order, so the traversal — and therefore the plan — is
+        // deterministic.
+        let mut order = Vec::with_capacity(n_sw);
+        let mut seen = vec![false; n_sw];
+        let mut queue = std::collections::VecDeque::new();
+        for seed in topo.switches() {
+            if seen[seed.idx()] {
+                continue;
+            }
+            seen[seed.idx()] = true;
+            queue.push_back(seed);
+            while let Some(sw) = queue.pop_front() {
+                order.push(sw);
+                for (_port, next, _link) in topo.switch_neighbors(sw) {
+                    if !seen[next.idx()] {
+                        seen[next.idx()] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n_sw);
+
+        // Cut the BFS order into contiguous blocks; the first
+        // `n_sw % n_shards` blocks get one extra switch.
+        let base = n_sw / n_shards;
+        let extra = n_sw % n_shards;
+        let mut switch_shard = vec![0u32; n_sw];
+        let mut pos = 0usize;
+        for shard in 0..n_shards {
+            let len = base + usize::from(shard < extra);
+            for sw in &order[pos..pos + len] {
+                switch_shard[sw.idx()] = shard as u32;
+            }
+            pos += len;
+        }
+
+        let nic_shard = topo
+            .hosts()
+            .map(|h| switch_shard[topo.host_switch(h).idx()])
+            .collect();
+
+        ShardPlan {
+            n_shards,
+            switch_shard,
+            nic_shard,
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Shard of switch `sw` (by index).
+    pub fn switch_shard(&self, sw: usize) -> usize {
+        self.switch_shard[sw] as usize
+    }
+
+    /// Shard of the NIC of host `h` (by index).
+    pub fn nic_shard(&self, h: usize) -> usize {
+        self.nic_shard[h] as usize
+    }
+
+    /// Switch count per shard.
+    pub fn switch_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_shards];
+        for &s in &self.switch_shard {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regnet_topology::TopologyBuilder;
+
+    fn ring(n: usize, hosts_per_switch: usize) -> Topology {
+        let mut b = TopologyBuilder::new("ring", 8);
+        b.add_switches(n);
+        for i in 0..n {
+            b.connect(
+                regnet_topology::SwitchId(i as u32),
+                regnet_topology::SwitchId(((i + 1) % n) as u32),
+            )
+            .unwrap();
+        }
+        b.attach_hosts_everywhere(hosts_per_switch).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_balanced() {
+        let topo = ring(10, 2);
+        let plan = ShardPlan::new(&topo, 4);
+        assert_eq!(plan.n_shards(), 4);
+        let counts = plan.switch_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert_eq!(counts.iter().max(), Some(&3));
+        assert_eq!(counts.iter().min(), Some(&2));
+        // A ring's BFS order from switch 0 alternates directions, but each
+        // shard is still one contiguous BFS block.
+        for h in 0..topo.num_hosts() {
+            let sw = topo.host_switch(regnet_topology::HostId(h as u32));
+            assert_eq!(plan.nic_shard(h), plan.switch_shard(sw.idx()));
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_switches() {
+        let topo = ring(3, 1);
+        let plan = ShardPlan::new(&topo, 8);
+        assert_eq!(plan.n_shards(), 3);
+        assert_eq!(plan.switch_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn single_shard_contains_everything() {
+        let topo = ring(5, 2);
+        let plan = ShardPlan::new(&topo, 1);
+        assert_eq!(plan.n_shards(), 1);
+        assert!((0..5).all(|s| plan.switch_shard(s) == 0));
+        assert!((0..10).all(|h| plan.nic_shard(h) == 0));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = ShardPlan::new(&ring(16, 4), 4);
+        let b = ShardPlan::new(&ring(16, 4), 4);
+        assert_eq!(a.switch_shard, b.switch_shard);
+        assert_eq!(a.nic_shard, b.nic_shard);
+    }
+}

@@ -1,7 +1,7 @@
 //! Cycle-loop scheduling strategies.
 //!
 //! The simulator's four hot phases (control arrivals, data arrivals,
-//! switches, NIC transmission) can be driven two ways:
+//! switches, NIC transmission) can be driven three ways:
 //!
 //! * [`Scheduler::Scan`] — the reference implementation: visit every
 //!   channel, switch and NIC on every cycle. Trivially correct, O(network
@@ -13,20 +13,27 @@
 //!   when provably quiescent. Per cycle the loop touches only components
 //!   with work, which at low offered load is a small fraction of the
 //!   network.
+//! * [`Scheduler::Parallel`] — shard-parallel: the topology is cut into
+//!   `threads` contiguous blocks of a BFS order over the switch graph
+//!   (see [`crate::partition`]), each shard runs the active-set machinery
+//!   on its own components on a persistent barrier-synchronized worker
+//!   pool, and cross-shard effects are buffered and merged in
+//!   deterministic channel-id order at the barriers (see `par.rs`).
 //!
-//! Both schedulers are bit-identical: same `RunStats`, counters, event
+//! All schedulers are bit-identical: same `RunStats`, counters, event
 //! journal and trace digest. The scan loop's observable ordering (channel,
 //! switch and NIC index order within each phase) is reproduced by sorting
 //! each drained wheel bucket and each active list before visiting it, so
-//! the active set is a strict subsequence of the scan order. The
-//! determinism suite runs under either via `REGNET_SCHEDULER`, and the
-//! `scheduler_equivalence` integration test diffs the two end-to-end.
+//! the active set is a strict subsequence of the scan order, and the
+//! parallel engine's merge keys reproduce the same order shard-blind. The
+//! determinism suite runs under any via `REGNET_SCHEDULER`, and the
+//! `scheduler_equivalence` integration test diffs all engines end-to-end.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Which cycle-loop driver [`crate::Simulator`] uses. See the module docs
-/// for the contract between the two.
+/// for the contract between the engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// Full scan of every component every cycle (reference implementation).
@@ -35,23 +42,59 @@ pub enum Scheduler {
     /// to `Scan`, much faster at low load).
     #[default]
     ActiveSet,
+    /// Shard-parallel active sets on a persistent worker pool.
+    /// Bit-identical to the sequential engines for any `threads`; the
+    /// shard count (and therefore every result) is `threads` alone, while
+    /// the live OS-thread count is capped at the host's parallelism.
+    /// Requires a fault-free run: arming faults falls back to
+    /// [`Scheduler::ActiveSet`] (mid-cycle global purges are inherently
+    /// cross-shard).
+    Parallel {
+        /// Shard count; `0` means "auto" ([`crate::threads::threads`]).
+        threads: usize,
+    },
 }
 
 impl Scheduler {
-    /// Stable label (bench reports, CI matrix keys).
+    /// Stable label (bench reports, CI matrix keys). Thread counts are
+    /// reported separately (the label identifies the engine).
     pub fn label(self) -> &'static str {
         match self {
             Scheduler::Scan => "scan",
             Scheduler::ActiveSet => "active-set",
+            Scheduler::Parallel { .. } => "parallel",
         }
     }
 
     /// Parse a label as written in bench reports or the
-    /// `REGNET_SCHEDULER` environment variable.
+    /// `REGNET_SCHEDULER` environment variable. `parallel` uses the shared
+    /// `REGNET_THREADS`/detected-parallelism rule; `parallel:<n>` pins the
+    /// shard count.
     pub fn parse(s: &str) -> Option<Scheduler> {
-        match s.trim().to_ascii_lowercase().as_str() {
+        let s = s.trim().to_ascii_lowercase();
+        if let Some(n) = s.strip_prefix("parallel:") {
+            let threads = n.trim().parse::<usize>().ok().filter(|&n| n >= 1)?;
+            return Some(Scheduler::Parallel { threads });
+        }
+        match s.as_str() {
             "scan" => Some(Scheduler::Scan),
             "active" | "active-set" | "activeset" | "active_set" => Some(Scheduler::ActiveSet),
+            "parallel" => Some(Scheduler::Parallel {
+                threads: crate::threads::threads(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The shard count a [`Scheduler::Parallel`] run would use (resolving
+    /// `threads: 0` to the auto rule); `None` for the sequential engines.
+    pub fn parallel_threads(self) -> Option<usize> {
+        match self {
+            Scheduler::Parallel { threads } => Some(if threads == 0 {
+                crate::threads::threads()
+            } else {
+                threads
+            }),
             _ => None,
         }
     }
@@ -227,6 +270,29 @@ mod tests {
         assert_eq!(Scheduler::parse("active"), Some(Scheduler::ActiveSet));
         assert_eq!(Scheduler::parse("nonsense"), None);
         assert_eq!(Scheduler::default(), Scheduler::ActiveSet);
+    }
+
+    #[test]
+    fn parallel_parsing() {
+        assert_eq!(
+            Scheduler::parse("parallel:4"),
+            Some(Scheduler::Parallel { threads: 4 })
+        );
+        assert_eq!(
+            Scheduler::parse(" Parallel:2 "),
+            Some(Scheduler::Parallel { threads: 2 })
+        );
+        assert_eq!(Scheduler::parse("parallel:0"), None);
+        assert_eq!(Scheduler::parse("parallel:x"), None);
+        // Bare "parallel" resolves the thread count via the shared rule.
+        let auto = Scheduler::parse("parallel").unwrap();
+        assert_eq!(auto.label(), "parallel");
+        assert!(auto.parallel_threads().unwrap() >= 1);
+        assert_eq!(
+            Scheduler::Parallel { threads: 3 }.parallel_threads(),
+            Some(3)
+        );
+        assert_eq!(Scheduler::ActiveSet.parallel_threads(), None);
     }
 
     #[test]

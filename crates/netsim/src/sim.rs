@@ -34,6 +34,7 @@ use crate::events::{BlockCause, EventJournal, EventKind, EventOptions, NO_PACKET
 use crate::faultplan::{FaultEvent, FaultOptions, FaultRuntime, FaultTarget, ReliabilityStats};
 use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{Packet, PacketArena};
+use crate::par::{ArrFx, NicFx, ParCtx, ParEngine};
 use crate::profiler::{Phase, ProfileReport, Profiler};
 use crate::sched::{ActiveSched, Scheduler};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
@@ -104,16 +105,18 @@ struct Measure {
     max_pool_flits: u32,
 }
 
-/// Reassembly state of one message (one or more packets).
+/// Reassembly state of one message (one or more packets). `pub(crate)`
+/// for the shard-parallel engine, which stamps `first_inject` through a
+/// raw pointer (see `crate::par`).
 #[derive(Debug)]
-struct MsgState {
-    remaining: u16,
-    gen_cycle: u64,
-    first_inject: u64,
-    itbs: u16,
+pub(crate) struct MsgState {
+    pub(crate) remaining: u16,
+    pub(crate) gen_cycle: u64,
+    pub(crate) first_inject: u64,
+    pub(crate) itbs: u16,
     /// At least one packet of this message was dropped by a fault; the
     /// message can never complete.
-    failed: bool,
+    pub(crate) failed: bool,
 }
 
 /// Slab of in-flight messages.
@@ -124,6 +127,13 @@ struct MsgArena {
 }
 
 impl MsgArena {
+    /// Base pointer of the slot array, for the shard-parallel engine.
+    /// Insert/remove stay on the main thread, so no reallocation happens
+    /// while workers hold the pointer.
+    fn raw_slots(&mut self) -> *mut Option<MsgState> {
+        self.slots.as_mut_ptr()
+    }
+
     fn insert(&mut self, m: MsgState) -> u32 {
         if let Some(i) = self.free.pop() {
             self.slots[i as usize] = Some(m);
@@ -142,6 +152,18 @@ impl MsgArena {
         let m = self.slots[i as usize].take().expect("double message free");
         self.free.push(i);
         m
+    }
+}
+
+/// Profiler lap for the parallel step: no-op (and no `Instant::now()`)
+/// unless profiling is on.
+fn lap_par(prof: &mut Option<Box<Profiler>>, mark: &mut Option<std::time::Instant>, phase: Phase) {
+    if let Some(p) = prof.as_deref_mut() {
+        let now = std::time::Instant::now();
+        if let Some(m) = mark {
+            p.add(phase, (now - *m).as_nanos() as u64);
+        }
+        *mark = Some(now);
     }
 }
 
@@ -177,8 +199,11 @@ pub struct Simulator<'a> {
     /// the untimed fast path.
     profiler: Option<Box<Profiler>>,
     /// Active-set scheduler state; `None` runs the reference full-scan
-    /// cycle loop (see [`Scheduler`]).
+    /// cycle loop (see [`Scheduler`]). Mutually exclusive with `par`.
     sched: Option<Box<ActiveSched>>,
+    /// Shard-parallel engine state ([`Scheduler::Parallel`]); when set,
+    /// `sched` is `None` and `step` runs the two-region barrier cycle.
+    par: Option<Box<ParEngine>>,
     /// Directed channel indices per physical link (both directions).
     link_chans: Vec<[u32; 2]>,
     /// `stop_generation` was called: never restart generators, even when a
@@ -318,6 +343,7 @@ impl<'a> Simulator<'a> {
             journal: None,
             profiler: None,
             sched: None,
+            par: None,
             link_chans,
             gen_frozen: false,
         }
@@ -334,19 +360,46 @@ impl<'a> Simulator<'a> {
             self.cycle, 0,
             "scheduler must be selected before the first cycle"
         );
+        self.par = None;
         self.sched = match s {
             Scheduler::Scan => None,
-            Scheduler::ActiveSet => Some(Box::new(ActiveSched::new(
-                self.cfg.link_delay_cycles,
-                self.switches.len(),
-                self.nics.len(),
-            ))),
+            Scheduler::ActiveSet => Some(Box::new(self.new_active_sched())),
+            Scheduler::Parallel { .. } => {
+                let threads = s.parallel_threads().unwrap();
+                if self.faults.is_some() {
+                    // Faults perform mid-cycle global purges — inherently
+                    // cross-shard. Fall back to the sequential active set.
+                    Some(Box::new(self.new_active_sched()))
+                } else {
+                    self.par = Some(Box::new(ParEngine::new(
+                        self.topo,
+                        threads,
+                        self.cfg.link_delay_cycles,
+                        &self.channels,
+                        self.switches.len(),
+                        self.nics.len(),
+                    )));
+                    None
+                }
+            }
         };
+    }
+
+    fn new_active_sched(&self) -> ActiveSched {
+        ActiveSched::new(
+            self.cfg.link_delay_cycles,
+            self.switches.len(),
+            self.nics.len(),
+        )
     }
 
     /// The cycle-loop driver in effect.
     pub fn scheduler(&self) -> Scheduler {
-        if self.sched.is_some() {
+        if let Some(pe) = &self.par {
+            Scheduler::Parallel {
+                threads: pe.requested,
+            }
+        } else if self.sched.is_some() {
             Scheduler::ActiveSet
         } else {
             Scheduler::Scan
@@ -397,6 +450,14 @@ impl<'a> Simulator<'a> {
     /// Call before running; events earlier than the current cycle fire
     /// immediately on the next step.
     pub fn enable_faults(&mut self, opts: FaultOptions) {
+        if self.par.is_some() {
+            // The parallel engine does not support faults (mid-cycle global
+            // purges are cross-shard); fall back to the sequential active
+            // set, which is bit-identical anyway.
+            assert_eq!(self.cycle, 0, "faults must be armed before running");
+            self.par = None;
+            self.sched = Some(Box::new(self.new_active_sched()));
+        }
         self.faults = Some(Box::new(FaultRuntime::new(opts, self.topo.num_hosts())));
     }
 
@@ -640,6 +701,11 @@ impl<'a> Simulator<'a> {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        if self.par.is_some() {
+            self.step_parallel();
+            self.cycle += 1;
+            return;
+        }
         if self.profiler.is_some() {
             self.step_profiled();
         } else {
@@ -691,6 +757,211 @@ impl<'a> Simulator<'a> {
         lap(&mut prof, Phase::Observers);
         prof.cycles += 1;
         self.profiler = Some(prof);
+    }
+
+    /// Build the raw-pointer context workers use for one region (see
+    /// `crate::par` for the safety argument). Rebuilt per region, so no
+    /// pointer survives a main-thread barrier mutation.
+    fn par_ctx(&mut self, pe: &mut ParEngine, cycle: u64) -> ParCtx {
+        ParCtx {
+            channels: self.channels.as_mut_ptr(),
+            switches: self.switches.as_mut_ptr(),
+            nics: self.nics.as_mut_ptr(),
+            pkt_slots: self.arena.raw_slots(),
+            msg_slots: self.msgs.raw_slots(),
+            shards: pe.shards.as_mut_ptr(),
+            n_shards: pe.shards.len(),
+            executors: pe.pool.executors(),
+            data_owner: pe.data_owner.as_ptr(),
+            ctl_owner: pe.ctl_owner.as_ptr(),
+            cfg: &self.cfg,
+            cycle,
+            measure_on: self.measure.on,
+            diag: self.counters.is_some() || self.journal.is_some(),
+            journal_on: self.journal.is_some(),
+            trace_on: self.trace.is_some(),
+        }
+    }
+
+    /// One cycle of the shard-parallel engine: region A (ctl + arrivals)
+    /// on the worker pool, the cross-shard control mid-barrier, region B
+    /// (switches + NIC tx) on the pool, the deterministic fold, then
+    /// generation and observers inline. See `crate::par` for the design
+    /// and the bit-identity argument.
+    fn step_parallel(&mut self) {
+        use std::time::Instant;
+        let cycle = self.cycle;
+        let mut pe = self.par.take().expect("parallel step without engine");
+        let mut prof = self.profiler.take();
+        // Coarse profiler mapping: region A → Arrivals, mid-barrier →
+        // Control, region B → Switches, fold → NicTx (the fused regions
+        // cannot be split into the sequential engine's finer phases).
+        let mut mark = prof.as_ref().map(|_| Instant::now());
+
+        {
+            let ctx = self.par_ctx(&mut pe, cycle);
+            pe.pool.run(&move |e| crate::par::run_region_a(&ctx, e));
+        }
+        lap_par(&mut prof, &mut mark, Phase::Arrivals);
+
+        // Mid-barrier: apply cross-shard region-A control symbols in
+        // ascending channel order — before region B, so a region-B GO can
+        // supersede a region-A STOP on the same channel exactly as the
+        // sequential phase order allows. (A fault-free cycle emits at most
+        // one region-A symbol per channel, so the order is total.)
+        let mut merged = std::mem::take(&mut pe.merged_ctl);
+        merged.clear();
+        for sh in &mut pe.shards {
+            merged.append(&mut sh.ctl_out);
+        }
+        merged.sort_unstable_by_key(|&(ci, _)| ci);
+        for &(ci, sym) in &merged {
+            self.channels[ci as usize].send_ctl(cycle, sym);
+            let owner = pe.ctl_owner[ci as usize] as usize;
+            pe.shards[owner].sched.note_ctl(cycle, ci);
+        }
+        pe.merged_ctl = merged;
+        lap_par(&mut prof, &mut mark, Phase::Control);
+
+        {
+            let ctx = self.par_ctx(&mut pe, cycle);
+            pe.pool.run(&move |e| crate::par::run_region_b(&ctx, e));
+        }
+        lap_par(&mut prof, &mut mark, Phase::Switches);
+
+        self.fold_parallel(&mut pe, cycle);
+        lap_par(&mut prof, &mut mark, Phase::NicTx);
+
+        // Generation needs the engine back in place: `create_message`
+        // activates the source NIC in its shard's scheduler.
+        self.par = Some(pe);
+        self.gen_phase(cycle);
+        lap_par(&mut prof, &mut mark, Phase::Generation);
+        self.observer_phase(cycle);
+        lap_par(&mut prof, &mut mark, Phase::Observers);
+        if let Some(p) = prof.as_deref_mut() {
+            p.cycles += 1;
+        }
+        self.profiler = prof;
+    }
+
+    /// The parallel cycle's barrier fold: route cross-shard timing-wheel
+    /// notes to their owner shards, replay the deferred observable effects
+    /// in the sequential phase-and-index order, and merge the per-shard
+    /// counter/measurement deltas.
+    fn fold_parallel(&mut self, pe: &mut ParEngine, cycle: u64) {
+        // Cross-shard wheel notes. Buckets are sorted + dedup'd at drain
+        // time, so insertion order is irrelevant.
+        for s in 0..pe.shards.len() {
+            let mut notes = std::mem::take(&mut pe.shards[s].note_data_out);
+            for ci in notes.drain(..) {
+                let owner = pe.data_owner[ci as usize] as usize;
+                pe.shards[owner].sched.note_data(cycle, ci);
+            }
+            pe.shards[s].note_data_out = notes;
+            let mut notes = std::mem::take(&mut pe.shards[s].note_ctl_out);
+            for ci in notes.drain(..) {
+                let owner = pe.ctl_owner[ci as usize] as usize;
+                pe.shards[owner].sched.note_ctl(cycle, ci);
+            }
+            pe.shards[s].note_ctl_out = notes;
+        }
+
+        // Deferred effects, one stream per sequential phase, each stably
+        // sorted by its component key: BFS shards are not index-contiguous,
+        // so the sort — not shard concatenation — reconstructs the global
+        // sequential visit order. Deliveries run here, before generation,
+        // so the arena and message free-lists reuse slots in the exact
+        // sequential order.
+        pe.merged_arr.clear();
+        for sh in &mut pe.shards {
+            pe.merged_arr.append(&mut sh.arr_fx);
+        }
+        pe.merged_arr.sort_by_key(|e| e.0);
+        let mut arr = std::mem::take(&mut pe.merged_arr);
+        for (_, fx) in arr.drain(..) {
+            match fx {
+                ArrFx::Journal { pid, kind } => {
+                    if let Some(j) = &mut self.journal {
+                        j.record(cycle, pid, kind);
+                    }
+                }
+                ArrFx::ItbEject {
+                    pid,
+                    host,
+                    overflow,
+                } => {
+                    if let Some(tr) = &mut self.trace {
+                        tr.on_itb_eject(cycle, pid);
+                    }
+                    if let Some(j) = &mut self.journal {
+                        j.record(cycle, pid, EventKind::ItbEject { host, overflow });
+                    }
+                }
+                ArrFx::Deliver { pid, host } => self.complete_delivery(pid, host, cycle),
+            }
+        }
+        pe.merged_arr = arr;
+
+        pe.merged_sw.clear();
+        for sh in &mut pe.shards {
+            pe.merged_sw.append(&mut sh.sw_fx);
+        }
+        pe.merged_sw.sort_by_key(|e| e.0);
+        for &(_, pid, kind) in &pe.merged_sw {
+            if let Some(j) = &mut self.journal {
+                j.record(cycle, pid, kind);
+            }
+        }
+        pe.merged_sw.clear();
+
+        pe.merged_nic.clear();
+        for sh in &mut pe.shards {
+            pe.merged_nic.append(&mut sh.nic_fx);
+        }
+        pe.merged_nic.sort_by_key(|e| e.0);
+        let mut nic_fx = std::mem::take(&mut pe.merged_nic);
+        for (_, fx) in nic_fx.drain(..) {
+            match fx {
+                NicFx::Inject { pid, src, dst } => {
+                    if let Some(j) = &mut self.journal {
+                        j.record(cycle, pid, EventKind::Inject { src, dst });
+                    }
+                }
+                NicFx::Reinject { pid, host } => {
+                    if let Some(tr) = &mut self.trace {
+                        tr.on_reinject_start(cycle, pid);
+                    }
+                    if let Some(j) = &mut self.journal {
+                        j.record(cycle, pid, EventKind::Reinject { host });
+                    }
+                }
+            }
+        }
+        pe.merged_nic = nic_fx;
+
+        // Order-free folds: counters are sums, the measurement deltas are
+        // sums/maxes, activity is an "any shard moved something" flag.
+        if let Some(c) = &mut self.counters {
+            for sh in &pe.shards {
+                c.add(&sh.counters);
+            }
+        }
+        for sh in &mut pe.shards {
+            sh.counters.reset();
+            if self.measure.on {
+                self.measure.itb_overflows += sh.itb_overflows;
+                self.measure.reinject_bubbles += sh.reinject_bubbles;
+                self.measure.max_pool_flits = self.measure.max_pool_flits.max(sh.max_pool_flits);
+            }
+            sh.itb_overflows = 0;
+            sh.reinject_bubbles = 0;
+            sh.max_pool_flits = 0;
+            if sh.activity {
+                self.last_activity = cycle;
+                sh.activity = false;
+            }
+        }
     }
 
     /// Phase 1: control-symbol arrivals flip sender flags.
@@ -1198,57 +1469,66 @@ impl<'a> Simulator<'a> {
         if finished {
             self.nics[h].rx = None;
             if deliver {
-                let pkt = self.arena.remove(pid);
-                let ms = self.msgs.get_mut(pkt.msg);
-                ms.remaining -= 1;
-                ms.itbs += pkt.itbs_used as u16;
-                let done = ms.remaining == 0;
+                self.complete_delivery(pid, host, cycle);
+            }
+        }
+    }
+
+    /// A packet finished arriving at its destination NIC: arena/message
+    /// bookkeeping, measurement, counters, journal and trace hooks. Shared
+    /// by the sequential `nic_rx` and the parallel fold, which replays
+    /// deliveries in ascending channel order so the arena and message
+    /// free-lists reuse slots exactly as the sequential arrival phase does.
+    fn complete_delivery(&mut self, pid: u32, host: u32, cycle: u64) {
+        let pkt = self.arena.remove(pid);
+        let ms = self.msgs.get_mut(pkt.msg);
+        ms.remaining -= 1;
+        ms.itbs += pkt.itbs_used as u16;
+        let done = ms.remaining == 0;
+        if self.measure.on {
+            let m = &mut self.measure;
+            m.delivered_packets += 1;
+            m.delivered_payload_flits += pkt.payload as u64;
+        }
+        if let Some(c) = &mut self.counters {
+            c.packets_delivered += 1;
+        }
+        if let Some(j) = &mut self.journal {
+            j.record(cycle, pid, EventKind::Deliver { dst: host });
+        }
+        if done {
+            // All packets of the message reassembled: the message is
+            // delivered (with mtu_flits = None this is every packet, the
+            // paper's model).
+            let ms = self.msgs.remove(pkt.msg);
+            if ms.failed {
+                // A sibling packet was dropped by a fault (only possible
+                // with MTU segmentation): the message never completes at
+                // the receiver.
+                if let Some(f) = self.faults.as_deref_mut() {
+                    f.rel.dropped_messages += 1;
+                }
+            } else {
                 if self.measure.on {
                     let m = &mut self.measure;
-                    m.delivered_packets += 1;
-                    m.delivered_payload_flits += pkt.payload as u64;
+                    m.delivered += 1;
+                    m.itb_sum += ms.itbs as u64;
+                    m.latency.push((cycle - ms.first_inject) as f64);
+                    m.hist.record(cycle - ms.first_inject);
+                    m.total_latency.push((cycle - ms.gen_cycle) as f64);
                 }
                 if let Some(c) = &mut self.counters {
-                    c.packets_delivered += 1;
+                    c.messages_delivered += 1;
                 }
-                if let Some(j) = &mut self.journal {
-                    j.record(cycle, pid, EventKind::Deliver { dst: host });
-                }
-                if done {
-                    // All packets of the message reassembled: the message
-                    // is delivered (with mtu_flits = None this is every
-                    // packet, the paper's model).
-                    let ms = self.msgs.remove(pkt.msg);
-                    if ms.failed {
-                        // A sibling packet was dropped by a fault (only
-                        // possible with MTU segmentation): the message
-                        // never completes at the receiver.
-                        if let Some(f) = self.faults.as_deref_mut() {
-                            f.rel.dropped_messages += 1;
-                        }
-                    } else {
-                        if self.measure.on {
-                            let m = &mut self.measure;
-                            m.delivered += 1;
-                            m.itb_sum += ms.itbs as u64;
-                            m.latency.push((cycle - ms.first_inject) as f64);
-                            m.hist.record(cycle - ms.first_inject);
-                            m.total_latency.push((cycle - ms.gen_cycle) as f64);
-                        }
-                        if let Some(c) = &mut self.counters {
-                            c.messages_delivered += 1;
-                        }
-                        if let Some(tr) = &mut self.trace {
-                            tr.on_message_delivered(
-                                cycle,
-                                pkt.journey.src.0,
-                                pkt.journey.dst.0,
-                                pkt.payload as u64,
-                                ms.itbs as u64,
-                                ms.first_inject,
-                            );
-                        }
-                    }
+                if let Some(tr) = &mut self.trace {
+                    tr.on_message_delivered(
+                        cycle,
+                        pkt.journey.src.0,
+                        pkt.journey.dst.0,
+                        pkt.payload as u64,
+                        ms.itbs as u64,
+                        ms.first_inject,
+                    );
                 }
             }
         }
@@ -1468,6 +1748,9 @@ impl<'a> Simulator<'a> {
         }
         if let Some(sc) = self.sched.as_deref_mut() {
             sc.activate_nic(src.0);
+        } else if let Some(pe) = self.par.as_deref_mut() {
+            let shard = pe.plan.nic_shard(src.idx());
+            pe.shards[shard].sched.activate_nic(src.0);
         }
         if self.measure.on {
             self.measure.generated += 1;

@@ -1,0 +1,78 @@
+//! Shared worker-thread sizing: one implementation of the
+//! `REGNET_THREADS` override used by the parallel cycle engine
+//! ([`Scheduler::Parallel`](crate::Scheduler)), the experiment sweeps
+//! (`experiment::par_map`) and the bench binaries (re-exported from
+//! `regnet-bench` for compatibility).
+
+/// Number of worker threads for sweeps and the parallel cycle engine.
+/// `REGNET_THREADS=<n>` overrides the detected parallelism (useful for CI
+/// runners and reproducible timings).
+///
+/// The environment is read once, on first call; later mutations of
+/// `REGNET_THREADS` (e.g. by tests running in the same process) have no
+/// effect. The override logic itself lives in [`threads_from`].
+pub fn threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| threads_from(std::env::var("REGNET_THREADS").ok().as_deref()))
+}
+
+/// Worker-thread count given the raw `REGNET_THREADS` value, if any: a
+/// positive integer wins; anything else (including `None`) falls back to
+/// the detected parallelism. Pure, so tests can cover the override rules
+/// without mutating process-global environment state.
+pub fn threads_from(override_var: Option<&str>) -> usize {
+    if let Some(v) = override_var {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("ignoring invalid REGNET_THREADS={v:?}"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Live OS threads the parallel cycle engine runs on for a requested shard
+/// count. The shard count — and therefore every simulation result — comes
+/// from `Scheduler::Parallel { threads }` alone; this only caps how many
+/// executors the persistent pool spawns, so a 4-shard run on a 1-core
+/// machine multiplexes its shards instead of oversubscribing the host.
+/// `REGNET_PAR_WORKERS=<n>` forces the executor count (used by tests to
+/// exercise true multi-threaded execution regardless of the host).
+pub(crate) fn par_executors(shards: usize) -> usize {
+    static WORKERS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let forced = *WORKERS.get_or_init(|| {
+        std::env::var("REGNET_PAR_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    });
+    let cap = forced.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    shards.min(cap).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_override_rules() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 8 ")), 8);
+        let detected = threads_from(None);
+        assert!(detected >= 1);
+        assert_eq!(threads_from(Some("0")), detected, "0 is invalid");
+        assert_eq!(threads_from(Some("nope")), detected);
+    }
+
+    #[test]
+    fn executors_never_exceed_shards() {
+        assert_eq!(par_executors(1), 1);
+        assert!(par_executors(4) <= 4);
+        assert!(par_executors(16) >= 1);
+    }
+}

@@ -1,8 +1,12 @@
-//! Scheduler equivalence suite: the active-set cycle loop must be
-//! bit-identical to the full-scan reference — same `RunStats`, same
-//! unified counters, same delivered-message trace digest — on every
-//! paper topology × routing scheme, with and without faults, and the
-//! exported Chrome trace must match byte for byte.
+//! Scheduler equivalence suite: the active-set cycle loop and the
+//! shard-parallel engine must be bit-identical to the full-scan
+//! reference — same `RunStats`, same unified counters, same
+//! delivered-message trace digest — on every paper topology × routing
+//! scheme, with and without faults, and the exported Chrome trace must
+//! match byte for byte. The parallel engine is checked at thread counts
+//! 1, 2 and 4 (shard counts; actual OS threads are capped by the host,
+//! and the result is executor-count-invariant by construction — see
+//! `DESIGN.md` §4f).
 //!
 //! The scan loop stays in the tree precisely so this suite has a ground
 //! truth to diff against; see `DESIGN.md` §4e.
@@ -52,21 +56,29 @@ fn run_once(
 
 fn assert_equivalent(build: fn() -> Topology, scheme: RoutingScheme) {
     let (s_scan, d_scan, n_scan) = run_once(build, scheme, Scheduler::Scan);
-    let (s_active, d_active, n_active) = run_once(build, scheme, Scheduler::ActiveSet);
     let name = build().name().to_string();
-    assert_eq!(
-        s_scan.counters, s_active.counters,
-        "counter snapshots diverged between schedulers ({name} {scheme:?})"
-    );
-    assert_eq!(
-        s_scan, s_active,
-        "RunStats diverged between schedulers ({name} {scheme:?})"
-    );
-    assert_eq!(
-        (d_scan, n_scan),
-        (d_active, n_active),
-        "trace digest diverged between schedulers ({name} {scheme:?})"
-    );
+    let contenders = [
+        Scheduler::ActiveSet,
+        Scheduler::Parallel { threads: 1 },
+        Scheduler::Parallel { threads: 2 },
+        Scheduler::Parallel { threads: 4 },
+    ];
+    for sched in contenders {
+        let (s_other, d_other, n_other) = run_once(build, scheme, sched);
+        assert_eq!(
+            s_scan.counters, s_other.counters,
+            "counter snapshots diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+        assert_eq!(
+            (d_scan, n_scan),
+            (d_other, n_other),
+            "trace digest diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+    }
     assert!(n_scan > 0, "expected deliveries during the window");
     assert!(
         s_scan
@@ -164,15 +176,32 @@ fn faulted_run_schedulers_agree() {
         exp.run_reliability(0.01, &run_opts)
     };
     let (s_scan, r_scan, t_scan) = run(Scheduler::Scan);
-    let (s_active, r_active, t_active) = run(Scheduler::ActiveSet);
-    assert_eq!(s_scan, s_active, "RunStats diverged under faults");
-    assert_eq!(r_scan, r_active, "ReliabilityStats diverged under faults");
-    let (t_scan, t_active) = (t_scan.unwrap(), t_active.unwrap());
-    assert_eq!(
-        (t_scan.digest, t_scan.digest_events),
-        (t_active.digest, t_active.digest_events),
-        "trace digest diverged under faults"
-    );
+    let t_scan = t_scan.unwrap();
+    // `Parallel` falls back to the active-set engine when faults are
+    // armed (mid-cycle global purges are inherently cross-shard), so the
+    // parallel rows below really re-check the fallback path — they must
+    // still agree bit for bit.
+    for sched in [
+        Scheduler::ActiveSet,
+        Scheduler::Parallel { threads: 2 },
+        Scheduler::Parallel { threads: 4 },
+    ] {
+        let (s_other, r_other, t_other) = run(sched);
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged under faults ({sched:?})"
+        );
+        assert_eq!(
+            r_scan, r_other,
+            "ReliabilityStats diverged under faults ({sched:?})"
+        );
+        let t_other = t_other.unwrap();
+        assert_eq!(
+            (t_scan.digest, t_scan.digest_events),
+            (t_other.digest, t_other.digest_events),
+            "trace digest diverged under faults ({sched:?})"
+        );
+    }
     assert!(
         r_scan.link_failures == 1 && r_scan.repairs == 1,
         "the plan must have fired: {r_scan:?}"
@@ -205,8 +234,42 @@ fn chrome_trace_export_schedulers_agree() {
         )
     };
     let (s_scan, t_scan) = run(Scheduler::Scan);
-    let (s_active, t_active) = run(Scheduler::ActiveSet);
-    assert_eq!(s_scan, s_active, "RunStats diverged with observers on");
-    assert_eq!(t_scan, t_active, "Chrome trace export diverged");
+    for sched in [
+        Scheduler::ActiveSet,
+        Scheduler::Parallel { threads: 2 },
+        Scheduler::Parallel { threads: 4 },
+    ] {
+        let (s_other, t_other) = run(sched);
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged with observers on ({sched:?})"
+        );
+        assert_eq!(t_scan, t_other, "Chrome trace export diverged ({sched:?})");
+    }
     assert!(!t_scan.is_empty());
+}
+
+/// Force the pool to actually use multiple OS executors (the default on a
+/// small CI host may collapse to one) and re-check bit-identity. The
+/// engine buffers every cross-shard effect and folds it in a fixed order,
+/// so the executor count must be invisible in the results.
+#[test]
+fn parallel_forced_multi_worker_agrees() {
+    // SAFETY: test processes are single-threaded at this point aside from
+    // the harness; the variable is read once per `ParEngine::new`.
+    std::env::set_var("REGNET_PAR_WORKERS", "4");
+    let (s_active, d_active, n_active) =
+        run_once(torus, RoutingScheme::ItbRr, Scheduler::ActiveSet);
+    let (s_par, d_par, n_par) = run_once(
+        torus,
+        RoutingScheme::ItbRr,
+        Scheduler::Parallel { threads: 4 },
+    );
+    std::env::remove_var("REGNET_PAR_WORKERS");
+    assert_eq!(s_active, s_par, "RunStats diverged with forced workers");
+    assert_eq!(
+        (d_active, n_active),
+        (d_par, n_par),
+        "trace digest diverged with forced workers"
+    );
 }
