@@ -3,10 +3,15 @@
 //! Runs a fixed matrix — the paper's three topologies × three routing
 //! schemes, each with observers off (`plain`) and on (`traced`: counters +
 //! event journal + per-phase profiler) — plus a scheduler-comparison
-//! column (scan vs active-set cycle loop, ITB-RR, at a near-idle and a
+//! column (scan vs active-set vs — at the near-idle load, where time
+//! skipping pays — the event-driven driver, ITB-RR, at a near-idle and a
 //! saturated load) and a thread-scaling column (the shard-parallel engine
 //! at 1/2/4 threads, saturated torus ITB-RR) and writes a [`BenchReport`]
-//! as JSON.
+//! as JSON. The event-driven low-load cells are gated: the run fails if
+//! the event driver does not at least match the active set's cycles/sec
+//! there (the expected ratio is far above 1x — at load 0.0005 the mean
+//! inter-message gap is on the order of thousands of idle cycles, all
+//! jumped in O(1)).
 //! `BENCH_netsim.json` at the repository root is the committed baseline;
 //! CI reruns the matrix and `--check`s against it.
 //!
@@ -185,17 +190,27 @@ fn main() -> ExitCode {
     }
 
     // Scheduler-comparison jobs: ITB-RR (the paper's headline scheme) on
-    // every topology, scan vs active-set, at the lowest-load point and at
-    // saturation. (setup index, load, scheduler), scan first per pair.
+    // every topology, scan vs active-set at the lowest-load point and at
+    // saturation, plus the event-driven driver at the lowest-load point
+    // (its design regime; at saturation it degenerates to the active set
+    // with one never-taken branch). (setup index, load, scheduler), scan
+    // first per group.
     let mut cmp_jobs: Vec<(usize, f64, Scheduler)> = setups
         .iter()
         .enumerate()
         .filter(|(_, s)| s.scheme == RoutingScheme::ItbRr)
         .flat_map(|(i, _)| {
             [LOW_LOAD, SAT_LOAD].into_iter().flat_map(move |load| {
-                [Scheduler::Scan, Scheduler::ActiveSet]
-                    .into_iter()
-                    .map(move |sched| (i, load, sched))
+                let scheds: &[Scheduler] = if load == LOW_LOAD {
+                    &[
+                        Scheduler::Scan,
+                        Scheduler::ActiveSet,
+                        Scheduler::EventDriven,
+                    ]
+                } else {
+                    &[Scheduler::Scan, Scheduler::ActiveSet]
+                };
+                scheds.iter().map(move |&sched| (i, load, sched))
             })
         })
         .collect();
@@ -205,7 +220,7 @@ fn main() -> ExitCode {
         .iter()
         .position(|s| s.topo_key == "torus" && s.scheme == RoutingScheme::ItbRr)
         .expect("torus/itb-rr is in the matrix");
-    // Scan/active-set pairs come first; everything after is the
+    // Scheduler-comparison groups come first; everything after is the
     // thread-scaling column (used by the summary printing below).
     let n_schedcmp = cmp_jobs.len();
     for threads in [1usize, 2, 4] {
@@ -299,20 +314,55 @@ fn main() -> ExitCode {
         }
     }
 
-    // Scheduler summary: active-set speedup over the scan reference at
-    // each comparison point (cmp_jobs emits scan/active-set adjacently).
-    println!("  scheduler active-set vs scan (itb-rr):");
-    for pair in report.cells[n_matrix..n_matrix + n_schedcmp].chunks(2) {
-        if let [scan, active] = pair {
+    // Scheduler summary: each contender's speedup over the scan reference
+    // at its comparison points (cmp_jobs emits scan first per group).
+    let sched_cells = &report.cells[n_matrix..n_matrix + n_schedcmp];
+    println!("  scheduler vs scan (itb-rr):");
+    for scan in sched_cells.iter().filter(|c| c.scheduler == "scan") {
+        for other in sched_cells
+            .iter()
+            .filter(|c| c.topo == scan.topo && c.load == scan.load && c.scheduler != "scan")
+        {
             println!(
-                "    {:<8} load {:<7} {:>+7.1}%  ({:.0} -> {:.0} cycles/s)",
+                "    {:<8} load {:<7} {:<10} {:>+8.1}%  ({:.0} -> {:.0} cycles/s)",
                 scan.topo,
                 scan.load,
-                (active.cycles_per_sec / scan.cycles_per_sec - 1.0) * 100.0,
+                other.scheduler,
+                (other.cycles_per_sec / scan.cycles_per_sec - 1.0) * 100.0,
                 scan.cycles_per_sec,
-                active.cycles_per_sec
+                other.cycles_per_sec
             );
         }
+    }
+
+    // The event-driven driver exists to win at low load: it must at
+    // least match the active set's cycles/sec there (the expected ratio
+    // is far above 1x; see DESIGN.md §4g and EXPERIMENTS.md).
+    let mut event_ok = true;
+    println!("  event-driven vs active-set (itb-rr, low load):");
+    for ev in sched_cells
+        .iter()
+        .filter(|c| c.scheduler == "event" && c.load == LOW_LOAD)
+    {
+        let active = sched_cells
+            .iter()
+            .find(|c| c.topo == ev.topo && c.load == ev.load && c.scheduler == "active-set")
+            .expect("active-set low-load counterpart");
+        let ratio = ev.cycles_per_sec / active.cycles_per_sec;
+        println!(
+            "    {:<8} {:>6.2}x  ({:.0} -> {:.0} cycles/s)",
+            ev.topo, ratio, active.cycles_per_sec, ev.cycles_per_sec
+        );
+        if ratio < 1.0 {
+            eprintln!(
+                "FAIL: event-driven low-load throughput {ratio:.2}x < 1.0x of active-set ({})",
+                ev.topo
+            );
+            event_ok = false;
+        }
+    }
+    if !event_ok {
+        return ExitCode::FAILURE;
     }
 
     // Thread-scaling summary: the parallel engine against the saturated

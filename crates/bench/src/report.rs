@@ -21,9 +21,12 @@ use serde::{Deserialize, Serialize};
 /// Schema tag written into every report, bumped on layout changes.
 /// v2 added the `scheduler` and `load` cell fields (cycle-loop scheduler
 /// comparison columns); v3 added the optional `threads` cell field (the
-/// shard-parallel engine's thread-scaling column). [`check_against`]
-/// still accepts v2 and v1 baselines.
-pub const BENCH_SCHEMA: &str = "regnet-bench-v3";
+/// shard-parallel engine's thread-scaling column); v4 added the
+/// event-driven driver's low-load comparison cells (`scheduler: "event"`)
+/// — new rows, not a layout change. [`check_against`] matches cells by
+/// their fields, so it still accepts v1–v3 baselines (and a v3 baseline
+/// simply carries no event rows to compare).
+pub const BENCH_SCHEMA: &str = "regnet-bench-v4";
 
 /// Default relative-slowdown threshold for [`check_against`].
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
@@ -37,7 +40,8 @@ pub struct BenchCell {
     pub scheme: String,
     /// Whether the observers (counters + event journal + profiler) were on.
     pub traced: bool,
-    /// Cycle-loop scheduler label (`scan` / `active-set` / `parallel`).
+    /// Cycle-loop scheduler label (`scan` / `active-set` / `event` /
+    /// `parallel`).
     pub scheduler: String,
     /// Offered load the cell was measured at (flits/ns/switch).
     pub load: f64,

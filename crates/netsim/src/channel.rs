@@ -139,6 +139,12 @@ impl Channel {
         self.data.iter().any(|&v| v != NO_PACKET)
     }
 
+    /// Any control symbols (STOP/GO/purge) still in flight? Used by the
+    /// event-driven driver's pending-work oracle.
+    pub fn has_ctl_in_flight(&self) -> bool {
+        self.ctl.iter().any(|&v| v != CTL_NONE)
+    }
+
     /// Reset the utilization counter (start of the measurement window).
     pub fn reset_busy(&mut self) {
         self.busy_cycles = 0;

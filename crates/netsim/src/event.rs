@@ -1,0 +1,226 @@
+//! Event-driven time skipping — the engine behind
+//! [`Scheduler::EventDriven`](crate::sched::Scheduler::EventDriven).
+//!
+//! The active-set scheduler already visits only channels, switches and
+//! NICs with work, but it still *ticks every cycle*: at very low load or
+//! while a fault-recovery stall empties the network, millions of cycles
+//! execute seven empty phases each. This module adds the classic
+//! discrete-event shortcut on top of the same wake state: whenever the
+//! network is **provably idle** — both wake wheels drained and every
+//! active list empty — the run loop computes the earliest future cycle
+//! that can possibly have work and jumps the clock straight to it.
+//!
+//! # Why a skip is effect-free
+//!
+//! A cycle with no flit in flight, no control symbol in flight, no busy
+//! switch and no eligible NIC executes seven phases that touch nothing:
+//! the control/arrival phases iterate empty buckets, the switch/NIC
+//! phases iterate empty active lists, and generation/fault/observer work
+//! only happens at cycles this module treats as *time sources* (below).
+//! Jumping over such cycles therefore leaves every piece of simulator
+//! state — packet arena, RNGs, counters, digests, journal — exactly as
+//! the tick-every-cycle loop would, with two deliberate compensations:
+//!
+//! * `reconfig_stall_cycles` ticks once per cycle while a
+//!   reconfiguration is pending, so a jump of `t - c` cycles adds
+//!   `t - c` to it (the jump target is clamped to the reconfiguration
+//!   completion, so the whole span is pending time).
+//! * `gen_stall_cycles` needs no compensation: a full source queue
+//!   implies a non-quiescent NIC, which blocks skipping entirely.
+//!
+//! # Time sources
+//!
+//! The jump target is the minimum over every mechanism that can create
+//! work at a future cycle out of thin air (i.e. without a flit moving):
+//!
+//! 1. the NIC wake-up heap (re-injections and retransmission timers
+//!    becoming eligible) — [`ActiveSched::next_wake`](crate::sched::ActiveSched::next_wake);
+//! 2. per-host open-loop generation (`ceil(next_gen)`) and the head of
+//!    the closed-loop `scheduled` queue — excluding hosts currently
+//!    failed/unreachable, whose `host_ok` can only flip back at a fault
+//!    or reconfiguration cycle, which is itself a time source;
+//! 3. the next fault-plan event and the pending reconfiguration
+//!    completion;
+//! 4. the next telemetry sampling tick (utilization / occupancy /
+//!    goodput flush) — the flush must *execute* on schedule so the
+//!    sample series stays bit-identical, even when every delta is zero;
+//! 5. the watchdog boundary `last_activity + watchdog + 1`, only while
+//!    packets are live (the watchdog cannot fire otherwise), so a stall
+//!    inside a skipped region still panics at the same cycle;
+//! 6. the caller's run limit (`run(cycles)` boundaries are exact, so
+//!    `begin`/`end_measurement` land on identical cycles).
+//!
+//! Skipping happens at the top of `run`/`run_until_drained` — never
+//! inside `step` — and the skip telemetry (`skipped_cycles`, the
+//! optional skip log) lives outside `RunStats` and the counter registry,
+//! so result equality across schedulers is preserved by construction.
+//! `tests/proptest_timeskip.rs` checks the quiescence predicate against
+//! a tick-every-cycle twin, and the shared harness in `tests/common/`
+//! enforces bit-identical results on every paper topology.
+
+use super::Simulator;
+
+impl Simulator<'_> {
+    /// Total cycles jumped over by the event-driven driver so far.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Record every `(from, to)` jump for inspection via
+    /// [`skip_log`](Simulator::skip_log). Test instrumentation.
+    pub fn enable_skip_log(&mut self) {
+        self.skip_log = Some(Vec::new());
+    }
+
+    /// The jumps recorded since [`enable_skip_log`](Simulator::enable_skip_log):
+    /// each entry `(from, to)` means cycles `from..to` were skipped.
+    pub fn skip_log(&self) -> &[(u64, u64)] {
+        self.skip_log.as_deref().unwrap_or(&[])
+    }
+
+    /// If the network is provably idle at the current cycle, jump the
+    /// clock to the earliest future cycle that can have work, clamped to
+    /// `limit`. No-op unless idle and the target lies ahead.
+    pub(crate) fn try_time_skip(&mut self, limit: u64) {
+        let Some(sc) = self.sched.as_deref() else {
+            return;
+        };
+        // O(1) quiescence gate: any in-flight flit or control symbol has
+        // a wheel entry, and any busy switch or eligible NIC is on an
+        // active list. Wake-ups already due but not yet drained are
+        // covered by `next_wake` clamping the target to "now".
+        if !(sc.wheels_empty() && sc.active_lists_empty()) {
+            return;
+        }
+        let c = self.cycle;
+        let t = self.next_cycle_with_work().min(limit);
+        if t <= c {
+            return;
+        }
+        if let Some(f) = self.faults.as_deref_mut() {
+            // The scan loop ticks the stall counter once per cycle while
+            // a reconfiguration is pending; `t` is clamped to the
+            // completion cycle, so the whole span counts.
+            if f.reconfig_due.is_some() {
+                f.rel.reconfig_stall_cycles += t - c;
+            }
+        }
+        self.skipped_cycles += t - c;
+        if let Some(log) = &mut self.skip_log {
+            log.push((c, t));
+        }
+        self.cycle = t;
+    }
+
+    /// The earliest cycle at which any time source can create work.
+    /// `u64::MAX` when nothing is pending (callers clamp to a run limit).
+    fn next_cycle_with_work(&self) -> u64 {
+        let sc = self.sched.as_deref().expect("event driver without sched");
+        let mut t = u64::MAX;
+        if let Some(wake) = sc.next_wake() {
+            t = t.min(wake);
+        }
+        for (h, nic) in self.nics.iter().enumerate() {
+            if let Some(f) = self.faults.as_deref() {
+                // Failed/unreachable hosts generate nothing; `host_ok`
+                // can only flip back at a fault or reconfiguration
+                // cycle, which is accounted below, and re-enabled hosts
+                // get `next_gen` re-seeded at that (executed) cycle.
+                if !f.host_ok[h] {
+                    continue;
+                }
+            }
+            if let Some(&(at, _)) = nic.scheduled.front() {
+                t = t.min(at);
+            }
+            if nic.next_gen != f64::MAX {
+                // Generation fires at the first integer cycle >= next_gen.
+                t = t.min(nic.next_gen.max(0.0).ceil() as u64);
+            }
+        }
+        if let Some(f) = self.faults.as_deref() {
+            if let Some(ev) = f.events.get(f.next_event) {
+                t = t.min(ev.cycle);
+            }
+            if let Some(due) = f.reconfig_due {
+                t = t.min(due);
+            }
+        }
+        if let Some(tr) = self.trace.as_deref() {
+            // A flush guarded by `cycle + 1 >= next` executes during
+            // cycle `next - 1`.
+            t = t.min(tr.next_tick().saturating_sub(1));
+        }
+        if self.arena.live() > 0 {
+            // First cycle the watchdog can trip; quiescence with live
+            // packets is exactly the state it exists to catch, so the
+            // panic must land on the same cycle as the other schedulers.
+            t = t.min(self.last_activity + self.cfg.watchdog_cycles + 1);
+        }
+        t
+    }
+
+    /// Does the *current* cycle have pending work? A raw-state scan,
+    /// deliberately independent of the active-set bookkeeping, used by
+    /// `tests/proptest_timeskip.rs` to cross-check the quiescence
+    /// predicate on a tick-every-cycle twin: no cycle inside a skipped
+    /// span may satisfy this.
+    ///
+    /// "Work" means an effect observable in results: flits or control
+    /// symbols in flight, busy switches, NICs with something to send,
+    /// generation or scheduled messages due, a fault event or completed
+    /// reconfiguration due, a telemetry flush due, or a watchdog trip.
+    /// The per-cycle `reconfig_stall_cycles` tick of a *pending*
+    /// reconfiguration is excluded — the skip path compensates it
+    /// exactly. A partially reassembled `rx` worm is also excluded: its
+    /// remaining flits are in flight or at an eligible sender, both
+    /// already covered.
+    pub fn cycle_has_pending_work(&self) -> bool {
+        let c = self.cycle;
+        if self
+            .channels
+            .iter()
+            .any(|ch| ch.has_data_in_flight() || ch.has_ctl_in_flight())
+        {
+            return true;
+        }
+        if self.switches.iter().any(|sw| !sw.is_quiescent()) {
+            return true;
+        }
+        for (h, nic) in self.nics.iter().enumerate() {
+            if !nic.quiescent_for_tx(c) {
+                return true;
+            }
+            let host_ok = self.faults.as_deref().is_none_or(|f| f.host_ok[h]);
+            if !host_ok {
+                continue;
+            }
+            if nic.scheduled.front().is_some_and(|&(at, _)| at <= c) {
+                return true;
+            }
+            if nic.next_gen != f64::MAX && nic.next_gen <= c as f64 {
+                return true;
+            }
+        }
+        if let Some(f) = self.faults.as_deref() {
+            if f.events.get(f.next_event).is_some_and(|ev| ev.cycle <= c) {
+                return true;
+            }
+            if f.reconfig_due.is_some_and(|due| due <= c) {
+                return true;
+            }
+        }
+        if let Some(tr) = self.trace.as_deref() {
+            if c + 1 >= tr.next_tick() {
+                return true;
+            }
+        }
+        if self.arena.live() > 0
+            && c - self.last_activity > self.cfg.watchdog_cycles
+            && self.nics.iter().all(|n| n.tx.is_none() || n.stopped)
+        {
+            return true;
+        }
+        false
+    }
+}

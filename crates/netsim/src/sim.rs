@@ -41,6 +41,12 @@ use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
 use crate::trace::{TraceOptions, TraceReport, TraceState};
 use crate::wfg::StallReport;
 
+// The event-driven time-skip driver ([`Scheduler::EventDriven`]) lives in
+// its own file for readability, but is a *child* module of `sim` so it can
+// reach the simulator's internals without widening their visibility.
+#[path = "event.rs"]
+mod event;
+
 /// Static description of a directed channel, for utilization maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelDesc {
@@ -209,6 +215,15 @@ pub struct Simulator<'a> {
     /// `stop_generation` was called: never restart generators, even when a
     /// repaired host comes back.
     gen_frozen: bool,
+    /// [`Scheduler::EventDriven`]: `run`/`run_until_drained` may jump the
+    /// clock over provably idle spans (see `event.rs`). Only meaningful
+    /// with `sched` set; mutually exclusive with `par`.
+    time_skip: bool,
+    /// Total cycles jumped over by the event-driven driver.
+    skipped_cycles: u64,
+    /// Optional `(from, to)` record of every jump — test instrumentation,
+    /// never enters `RunStats` or the counter snapshot.
+    skip_log: Option<Vec<(u64, u64)>>,
 }
 
 impl<'a> Simulator<'a> {
@@ -346,6 +361,9 @@ impl<'a> Simulator<'a> {
             par: None,
             link_chans,
             gen_frozen: false,
+            time_skip: false,
+            skipped_cycles: 0,
+            skip_log: None,
         }
     }
 
@@ -361,9 +379,16 @@ impl<'a> Simulator<'a> {
             "scheduler must be selected before the first cycle"
         );
         self.par = None;
+        self.time_skip = false;
         self.sched = match s {
             Scheduler::Scan => None,
             Scheduler::ActiveSet => Some(Box::new(self.new_active_sched())),
+            Scheduler::EventDriven => {
+                // The active-set machinery provides the wake state; the
+                // `run` loops additionally jump over provably idle spans.
+                self.time_skip = true;
+                Some(Box::new(self.new_active_sched()))
+            }
             Scheduler::Parallel { .. } => {
                 let threads = s.parallel_threads().unwrap();
                 if self.faults.is_some() {
@@ -400,7 +425,11 @@ impl<'a> Simulator<'a> {
                 threads: pe.requested,
             }
         } else if self.sched.is_some() {
-            Scheduler::ActiveSet
+            if self.time_skip {
+                Scheduler::EventDriven
+            } else {
+                Scheduler::ActiveSet
+            }
         } else {
             Scheduler::Scan
         }
@@ -562,10 +591,18 @@ impl<'a> Simulator<'a> {
             .collect()
     }
 
-    /// Run for `cycles` cycles.
+    /// Run for `cycles` cycles. Under [`Scheduler::EventDriven`] idle
+    /// spans are jumped over, but the loop still stops exactly at
+    /// `cycle + cycles`, so measurement-window boundaries are unaffected.
     pub fn run(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
         while self.cycle < end {
+            if self.time_skip {
+                self.try_time_skip(end);
+                if self.cycle >= end {
+                    break;
+                }
+            }
             self.step();
         }
     }
@@ -1695,6 +1732,15 @@ impl<'a> Simulator<'a> {
         while self.cycle < end {
             if self.arena.live() == 0 && self.nics.iter().all(|n| n.scheduled.is_empty()) {
                 return Some(self.cycle);
+            }
+            // Not drained yet: a skip cannot change that (nothing executes
+            // inside the jumped span), so the drained cycle this returns is
+            // identical to the tick-every-cycle schedulers'.
+            if self.time_skip {
+                self.try_time_skip(end);
+                if self.cycle >= end {
+                    break;
+                }
             }
             self.step();
         }

@@ -1,0 +1,213 @@
+//! Shared cross-scheduler equivalence harness.
+//!
+//! Every cycle-loop driver the simulator offers registers here once, in
+//! [`contenders`], and every equivalence suite — the topology × scheme
+//! matrix, the faulted runs, the Chrome-trace export, the time-skip
+//! property tests — iterates that single list. Adding a fifth scheduler
+//! means adding one line here; the whole proof obligation (same
+//! `RunStats`, same unified counters, same delivered-message digest,
+//! same Chrome trace, with and without faults) then applies to it
+//! automatically.
+//!
+//! The scan loop stays in the tree precisely so these suites have a
+//! ground truth to diff against; see `DESIGN.md` §4e.
+
+#![allow(dead_code)]
+
+use regnet::prelude::*;
+
+/// The ground-truth driver every contender is diffed against.
+pub fn reference() -> Scheduler {
+    Scheduler::Scan
+}
+
+/// Every non-reference cycle-loop driver. The parallel engine is checked
+/// at shard counts 1, 2 and 4 (executor-count-invariant by construction;
+/// see `DESIGN.md` §4f), the event-driven driver exercises time skipping
+/// (`DESIGN.md` §4g).
+pub fn contenders() -> Vec<Scheduler> {
+    vec![
+        Scheduler::ActiveSet,
+        Scheduler::EventDriven,
+        Scheduler::Parallel { threads: 1 },
+        Scheduler::Parallel { threads: 2 },
+        Scheduler::Parallel { threads: 4 },
+    ]
+}
+
+pub fn opts(scheduler: Scheduler) -> RunOptions {
+    RunOptions {
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+        seed: 42,
+        trace: TraceOptions::digest_only(),
+        counters: true,
+        scheduler,
+        ..RunOptions::default()
+    }
+}
+
+pub fn cfg() -> SimConfig {
+    SimConfig {
+        payload_flits: 64,
+        ..SimConfig::default()
+    }
+}
+
+pub fn torus() -> Topology {
+    gen::torus_2d(8, 8, 8).unwrap()
+}
+
+pub fn express() -> Topology {
+    gen::torus_2d_express(8, 8, 8).unwrap()
+}
+
+pub fn cplant() -> Topology {
+    gen::cplant().unwrap()
+}
+
+/// One measured run: stats plus the delivered-message trace digest.
+pub fn run_once(
+    build: fn() -> Topology,
+    scheme: RoutingScheme,
+    scheduler: Scheduler,
+) -> (RunStats, u64, u64) {
+    let exp = Experiment::new(
+        build(),
+        scheme,
+        RouteDbConfig::default(),
+        PatternSpec::Uniform,
+        cfg(),
+    )
+    .unwrap();
+    let (stats, trace) = exp.run_traced(0.01, &opts(scheduler));
+    let trace = trace.expect("digest observer was enabled");
+    (
+        stats,
+        trace.digest.expect("digest recorded"),
+        trace.digest_events,
+    )
+}
+
+/// The core obligation: every contender must be bit-identical to the
+/// scan reference on this topology × scheme point.
+pub fn assert_equivalent(build: fn() -> Topology, scheme: RoutingScheme) {
+    let (s_scan, d_scan, n_scan) = run_once(build, scheme, reference());
+    let name = build().name().to_string();
+    for sched in contenders() {
+        let (s_other, d_other, n_other) = run_once(build, scheme, sched);
+        assert_eq!(
+            s_scan.counters, s_other.counters,
+            "counter snapshots diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+        assert_eq!(
+            (d_scan, n_scan),
+            (d_other, n_other),
+            "trace digest diverged between schedulers ({name} {scheme:?} {sched:?})"
+        );
+    }
+    assert!(n_scan > 0, "expected deliveries during the window");
+    assert!(
+        s_scan
+            .counters
+            .as_ref()
+            .is_some_and(|c| c.total_events() > 0),
+        "the equivalence must cover real traffic"
+    );
+}
+
+/// Faulted-run obligation: a single link fails and is repaired, and
+/// every contender must agree on `RunStats`, `ReliabilityStats` and the
+/// digest. (`Parallel` falls back to the active-set engine when faults
+/// are armed — mid-cycle global purges are inherently cross-shard — so
+/// its rows re-check the fallback path; they must still agree bit for
+/// bit.)
+pub fn assert_equivalent_faulted(build: fn() -> Topology, scheme: RoutingScheme) {
+    let run = |scheduler: Scheduler| {
+        let topo = build();
+        let link = topo
+            .links()
+            .iter()
+            .find(|l| l.is_switch_link())
+            .expect("switch link")
+            .id;
+        let mut plan = FaultPlan::single_link(link, 4_000);
+        plan.repair_link(9_000, link);
+        let exp = Experiment::new(
+            topo,
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(),
+        )
+        .unwrap();
+        let run_opts = RunOptions {
+            faults: Some(FaultOptions::with_plan(plan)),
+            ..opts(scheduler)
+        };
+        exp.run_reliability(0.01, &run_opts)
+    };
+    let (s_scan, r_scan, t_scan) = run(reference());
+    let t_scan = t_scan.unwrap();
+    for sched in contenders() {
+        let (s_other, r_other, t_other) = run(sched);
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged under faults ({sched:?})"
+        );
+        assert_eq!(
+            r_scan, r_other,
+            "ReliabilityStats diverged under faults ({sched:?})"
+        );
+        let t_other = t_other.unwrap();
+        assert_eq!(
+            (t_scan.digest, t_scan.digest_events),
+            (t_other.digest, t_other.digest_events),
+            "trace digest diverged under faults ({sched:?})"
+        );
+    }
+    assert!(
+        r_scan.link_failures == 1 && r_scan.repairs == 1,
+        "the plan must have fired: {r_scan:?}"
+    );
+}
+
+/// Full-observer obligation: the event journal exported as a Chrome
+/// trace must come out byte-identical under every contender.
+pub fn assert_equivalent_observed(build: fn() -> Topology, scheme: RoutingScheme) {
+    let run = |scheduler: Scheduler| {
+        let exp = Experiment::new(
+            build(),
+            scheme,
+            RouteDbConfig::default(),
+            PatternSpec::Uniform,
+            cfg(),
+        )
+        .unwrap();
+        let obs = exp.run_observed(
+            0.01,
+            &RunOptions {
+                events: Some(EventOptions::default()),
+                ..opts(scheduler)
+            },
+        );
+        (
+            obs.stats,
+            obs.journal.expect("journal enabled").to_chrome().to_json(),
+        )
+    };
+    let (s_scan, t_scan) = run(reference());
+    for sched in contenders() {
+        let (s_other, t_other) = run(sched);
+        assert_eq!(
+            s_scan, s_other,
+            "RunStats diverged with observers on ({sched:?})"
+        );
+        assert_eq!(t_scan, t_other, "Chrome trace export diverged ({sched:?})");
+    }
+    assert!(!t_scan.is_empty());
+}

@@ -9,8 +9,8 @@
 use regnet::prelude::*;
 
 /// Cycle-loop scheduler under test. CI runs the whole suite once per
-/// scheduler by setting `REGNET_SCHEDULER=scan|active-set`; unset means
-/// the default ([`Scheduler::ActiveSet`]).
+/// scheduler by setting `REGNET_SCHEDULER=scan|active-set|event|parallel:N`;
+/// unset means the default ([`Scheduler::ActiveSet`]).
 fn scheduler() -> Scheduler {
     match std::env::var("REGNET_SCHEDULER") {
         Ok(v) => {

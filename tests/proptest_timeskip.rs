@@ -1,0 +1,116 @@
+//! Property tests for event-driven time skipping: on random small
+//! topologies × routing schemes × loads × fault plans, the skip target
+//! must never overshoot. The proof runs twice — once under
+//! `Scheduler::EventDriven` with the skip log armed, once under the
+//! tick-every-cycle active set — and checks, via the raw-state oracle
+//! `Simulator::cycle_has_pending_work` (independent of the scheduler
+//! bookkeeping), that no cycle inside a skipped span had anything to do,
+//! and that both runs end in bit-identical results.
+
+use proptest::prelude::*;
+
+use regnet::prelude::*;
+
+const RUN_CYCLES: u64 = 20_000;
+
+fn arb_setup() -> impl Strategy<Value = (Topology, RoutingScheme, usize, f64, u64, bool)> {
+    (
+        (4usize..10, 2usize..4, 1usize..3, 0u64..500),
+        0u8..3,
+        prop::sample::select(vec![32usize, 64]),
+        // Skewed low so most cases have real idle spans to jump, with a
+        // busier tail to exercise the "never skip when work exists" side.
+        prop::sample::select(vec![0.0003f64, 0.001, 0.003, 0.01]),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((n, deg, hosts, tseed), scheme, payload, load, seed, faulty)| {
+                (
+                    gen::irregular_random(n, deg, hosts, tseed).expect("topology"),
+                    RoutingScheme::all()[scheme as usize],
+                    payload,
+                    load,
+                    seed,
+                    faulty,
+                )
+            },
+        )
+}
+
+/// A single fail+repair plan on the first switch link, when one exists.
+fn plan_for(topo: &Topology, faulty: bool) -> Option<FaultPlan> {
+    if !faulty {
+        return None;
+    }
+    let link = topo.links().iter().find(|l| l.is_switch_link())?.id;
+    let mut plan = FaultPlan::single_link(link, 3_000);
+    plan.repair_link(8_000, link);
+    Some(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn skipped_spans_never_overshoot((topo, scheme, payload, load, seed, faulty) in arb_setup()) {
+        let db = RouteDb::build(&topo, scheme, &RouteDbConfig::default());
+        let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
+        let mk_cfg = || SimConfig { payload_flits: payload, ..SimConfig::default() };
+        let plan = plan_for(&topo, faulty);
+
+        // Event-driven run, skip log armed.
+        let mut ev = Simulator::new(&topo, &db, &pattern, mk_cfg(), load, seed);
+        ev.set_scheduler(Scheduler::EventDriven);
+        if let Some(p) = plan.clone() {
+            ev.enable_faults(FaultOptions::with_plan(p));
+        }
+        ev.enable_skip_log();
+        ev.begin_measurement();
+        ev.run(RUN_CYCLES);
+        let s_ev = ev.end_measurement(RUN_CYCLES);
+
+        // The log is well-formed: strictly forward, disjoint, in order,
+        // clamped to the run limit, and sums to the skip counter.
+        let log = ev.skip_log().to_vec();
+        let mut prev_to = 0u64;
+        let mut total = 0u64;
+        for &(from, to) in &log {
+            prop_assert!(from < to, "degenerate jump ({from}, {to})");
+            prop_assert!(from >= prev_to, "jumps out of order at ({from}, {to})");
+            prop_assert!(to <= RUN_CYCLES, "jump overshot the run limit");
+            prev_to = to;
+            total += to - from;
+        }
+        prop_assert_eq!(total, ev.skipped_cycles());
+
+        // Re-run with skipping disabled: bit-identical results, and the
+        // raw-state oracle confirms every skipped cycle really was idle.
+        let mut tw = Simulator::new(&topo, &db, &pattern, mk_cfg(), load, seed);
+        tw.set_scheduler(Scheduler::ActiveSet);
+        if let Some(p) = plan {
+            tw.enable_faults(FaultOptions::with_plan(p));
+        }
+        tw.begin_measurement();
+        let mut li = 0usize;
+        while tw.cycle() < RUN_CYCLES {
+            let c = tw.cycle();
+            while li < log.len() && c >= log[li].1 {
+                li += 1;
+            }
+            if li < log.len() && log[li].0 <= c && c < log[li].1 {
+                prop_assert!(
+                    !tw.cycle_has_pending_work(),
+                    "cycle {} was skipped (span {:?}) but had pending work",
+                    c,
+                    log[li]
+                );
+            }
+            tw.step();
+        }
+        let s_tw = tw.end_measurement(RUN_CYCLES);
+        prop_assert_eq!(s_ev, s_tw, "RunStats diverged from the tick-every-cycle twin");
+        prop_assert_eq!(ev.reliability(), tw.reliability());
+        prop_assert_eq!(tw.skipped_cycles(), 0, "the active set must never skip");
+    }
+}

@@ -1,105 +1,16 @@
-//! Scheduler equivalence suite: the active-set cycle loop and the
-//! shard-parallel engine must be bit-identical to the full-scan
-//! reference — same `RunStats`, same unified counters, same
-//! delivered-message trace digest — on every paper topology × routing
-//! scheme, with and without faults, and the exported Chrome trace must
-//! match byte for byte. The parallel engine is checked at thread counts
-//! 1, 2 and 4 (shard counts; actual OS threads are capped by the host,
-//! and the result is executor-count-invariant by construction — see
-//! `DESIGN.md` §4f).
+//! Scheduler equivalence suite: every cycle-loop driver — active set,
+//! event-driven time skipping, shard-parallel — must be bit-identical to
+//! the full-scan reference: same `RunStats`, same unified counters, same
+//! delivered-message trace digest, same exported Chrome trace, on every
+//! paper topology × routing scheme, with and without faults.
 //!
-//! The scan loop stays in the tree precisely so this suite has a ground
-//! truth to diff against; see `DESIGN.md` §4e.
+//! The driver list and the proof obligations live in the shared harness
+//! (`tests/common/mod.rs`); this file only enumerates the matrix points.
 
+mod common;
+
+use common::*;
 use regnet::prelude::*;
-
-fn opts(scheduler: Scheduler) -> RunOptions {
-    RunOptions {
-        warmup_cycles: 2_000,
-        measure_cycles: 10_000,
-        seed: 42,
-        trace: TraceOptions::digest_only(),
-        counters: true,
-        scheduler,
-        ..RunOptions::default()
-    }
-}
-
-fn cfg() -> SimConfig {
-    SimConfig {
-        payload_flits: 64,
-        ..SimConfig::default()
-    }
-}
-
-fn run_once(
-    build: fn() -> Topology,
-    scheme: RoutingScheme,
-    scheduler: Scheduler,
-) -> (RunStats, u64, u64) {
-    let exp = Experiment::new(
-        build(),
-        scheme,
-        RouteDbConfig::default(),
-        PatternSpec::Uniform,
-        cfg(),
-    )
-    .unwrap();
-    let (stats, trace) = exp.run_traced(0.01, &opts(scheduler));
-    let trace = trace.expect("digest observer was enabled");
-    (
-        stats,
-        trace.digest.expect("digest recorded"),
-        trace.digest_events,
-    )
-}
-
-fn assert_equivalent(build: fn() -> Topology, scheme: RoutingScheme) {
-    let (s_scan, d_scan, n_scan) = run_once(build, scheme, Scheduler::Scan);
-    let name = build().name().to_string();
-    let contenders = [
-        Scheduler::ActiveSet,
-        Scheduler::Parallel { threads: 1 },
-        Scheduler::Parallel { threads: 2 },
-        Scheduler::Parallel { threads: 4 },
-    ];
-    for sched in contenders {
-        let (s_other, d_other, n_other) = run_once(build, scheme, sched);
-        assert_eq!(
-            s_scan.counters, s_other.counters,
-            "counter snapshots diverged between schedulers ({name} {scheme:?} {sched:?})"
-        );
-        assert_eq!(
-            s_scan, s_other,
-            "RunStats diverged between schedulers ({name} {scheme:?} {sched:?})"
-        );
-        assert_eq!(
-            (d_scan, n_scan),
-            (d_other, n_other),
-            "trace digest diverged between schedulers ({name} {scheme:?} {sched:?})"
-        );
-    }
-    assert!(n_scan > 0, "expected deliveries during the window");
-    assert!(
-        s_scan
-            .counters
-            .as_ref()
-            .is_some_and(|c| c.total_events() > 0),
-        "the equivalence must cover real traffic"
-    );
-}
-
-fn torus() -> Topology {
-    gen::torus_2d(8, 8, 8).unwrap()
-}
-
-fn express() -> Topology {
-    gen::torus_2d_express(8, 8, 8).unwrap()
-}
-
-fn cplant() -> Topology {
-    gen::cplant().unwrap()
-}
 
 #[test]
 fn torus_updown_schedulers_agree() {
@@ -147,106 +58,19 @@ fn cplant_itb_rr_schedulers_agree() {
 }
 
 /// Faults exercise the phase-0 control path (purge GO symbols delivered
-/// the same cycle) and the retransmission wake-ups; the schedulers must
-/// agree there too.
+/// the same cycle), the retransmission wake-ups and — for the
+/// event-driven driver — the fault/reconfiguration time sources; every
+/// scheduler must agree there too.
 #[test]
 fn faulted_run_schedulers_agree() {
-    let run = |scheduler: Scheduler| {
-        let topo = torus();
-        let link = topo
-            .links()
-            .iter()
-            .find(|l| l.is_switch_link())
-            .expect("switch link")
-            .id;
-        let mut plan = FaultPlan::single_link(link, 4_000);
-        plan.repair_link(9_000, link);
-        let exp = Experiment::new(
-            topo,
-            RoutingScheme::ItbRr,
-            RouteDbConfig::default(),
-            PatternSpec::Uniform,
-            cfg(),
-        )
-        .unwrap();
-        let run_opts = RunOptions {
-            faults: Some(FaultOptions::with_plan(plan)),
-            ..opts(scheduler)
-        };
-        exp.run_reliability(0.01, &run_opts)
-    };
-    let (s_scan, r_scan, t_scan) = run(Scheduler::Scan);
-    let t_scan = t_scan.unwrap();
-    // `Parallel` falls back to the active-set engine when faults are
-    // armed (mid-cycle global purges are inherently cross-shard), so the
-    // parallel rows below really re-check the fallback path — they must
-    // still agree bit for bit.
-    for sched in [
-        Scheduler::ActiveSet,
-        Scheduler::Parallel { threads: 2 },
-        Scheduler::Parallel { threads: 4 },
-    ] {
-        let (s_other, r_other, t_other) = run(sched);
-        assert_eq!(
-            s_scan, s_other,
-            "RunStats diverged under faults ({sched:?})"
-        );
-        assert_eq!(
-            r_scan, r_other,
-            "ReliabilityStats diverged under faults ({sched:?})"
-        );
-        let t_other = t_other.unwrap();
-        assert_eq!(
-            (t_scan.digest, t_scan.digest_events),
-            (t_other.digest, t_other.digest_events),
-            "trace digest diverged under faults ({sched:?})"
-        );
-    }
-    assert!(
-        r_scan.link_failures == 1 && r_scan.repairs == 1,
-        "the plan must have fired: {r_scan:?}"
-    );
+    assert_equivalent_faulted(torus, RoutingScheme::ItbRr);
 }
 
 /// The full observability stack — event journal exported as a Chrome
-/// trace — must come out byte-identical under either scheduler.
+/// trace — must come out byte-identical under every scheduler.
 #[test]
 fn chrome_trace_export_schedulers_agree() {
-    let run = |scheduler: Scheduler| {
-        let exp = Experiment::new(
-            gen::torus_2d(4, 4, 4).unwrap(),
-            RoutingScheme::ItbRr,
-            RouteDbConfig::default(),
-            PatternSpec::Uniform,
-            cfg(),
-        )
-        .unwrap();
-        let obs = exp.run_observed(
-            0.01,
-            &RunOptions {
-                events: Some(EventOptions::default()),
-                ..opts(scheduler)
-            },
-        );
-        (
-            obs.stats,
-            obs.journal.expect("journal enabled").to_chrome().to_json(),
-        )
-    };
-    let (s_scan, t_scan) = run(Scheduler::Scan);
-    for sched in [
-        Scheduler::ActiveSet,
-        Scheduler::Parallel { threads: 2 },
-        Scheduler::Parallel { threads: 4 },
-    ] {
-        let (s_other, t_other) = run(sched);
-        assert_eq!(
-            s_scan, s_other,
-            "RunStats diverged with observers on ({sched:?})"
-        );
-        assert_eq!(t_scan, t_other, "Chrome trace export diverged ({sched:?})");
-    }
-    assert!(!t_scan.is_empty());
+    assert_equivalent_observed(|| gen::torus_2d(4, 4, 4).unwrap(), RoutingScheme::ItbRr);
 }
 
 /// Force the pool to actually use multiple OS executors (the default on a
