@@ -45,6 +45,7 @@ use regnet_bench::report::{
     check_against, peak_rss_kb, BenchCell, BenchReport, BENCH_SCHEMA, DEFAULT_THRESHOLD,
 };
 use regnet_bench::{parse_flag_value, Topo};
+use regnet_campaign::Progress;
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
 use regnet_netsim::{EventOptions, Scheduler, SimConfig, Simulator};
 use regnet_topology::Topology;
@@ -168,7 +169,7 @@ fn main() -> ExitCode {
         .map(|s| s.parse().expect("--threshold must be a number"))
         .unwrap_or(DEFAULT_THRESHOLD);
 
-    eprintln!("[building topologies and route databases]");
+    Progress::announce("bench", "building topologies and route databases");
     let mut setups = Vec::new();
     for (topo_kind, topo_key) in TOPOS {
         let topo = if full {
@@ -234,8 +235,8 @@ fn main() -> ExitCode {
     let n_cells = n_matrix + cmp_jobs.len();
     let mut best: Vec<Option<(u64, u64, Vec<regnet_netsim::PhaseProfile>)>> = vec![None; n_cells];
     let mut calibration = f64::NEG_INFINITY;
-    for round in 0..p.rounds.max(1) {
-        eprintln!("[round {}/{}]", round + 1, p.rounds.max(1));
+    let mut rounds_progress = Progress::start("bench", p.rounds.max(1) as usize);
+    for _round in 0..p.rounds.max(1) {
         calibration = calibration.max(calibration_window());
         for (i, setup) in setups.iter().enumerate() {
             for (j, traced) in [false, true].into_iter().enumerate() {
@@ -254,7 +255,9 @@ fn main() -> ExitCode {
                 *slot = Some((wall_ns, events, phases));
             }
         }
+        rounds_progress.step("round complete");
     }
+    rounds_progress.finish("");
 
     let mut cells = Vec::with_capacity(n_cells);
     for (i, s) in setups.iter().enumerate() {

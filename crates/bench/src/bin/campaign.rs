@@ -1,0 +1,358 @@
+//! Campaign orchestrator CLI: fan a declarative grid of simulation cells
+//! across a worker pool with checkpoint/resume and streamed curve exports.
+//!
+//! ```text
+//! campaign <file.json> [--out DIR] [--threads N] [--stop-after N]
+//!                      [--fresh] [--dry-run] [--quiet]
+//! campaign --smoke     [same options; built-in tiny campaign]
+//! campaign <file.json> --what-if "topo=torus,scheme=ITB-RR,pattern=uniform[,start=0.004,...]"
+//! ```
+//!
+//! Every finished cell is checkpointed under `<out>/cells/<hash>.json`;
+//! re-running the same campaign file skips everything already landed, so
+//! an interrupted campaign (Ctrl-C, `--stop-after`, power loss) resumes
+//! where it left off. After each landed cell the derived artifacts —
+//! latency-vs-load curves per group, the saturation summary, goodput
+//! time series — are re-exported, so partial results are always on disk.
+
+use std::process::ExitCode;
+
+use regnet_bench::parse_flag_value;
+use regnet_campaign::{
+    export_campaign, parse_pattern, parse_scheme, run_plan, what_if, CampaignSpec, CellDefaults,
+    CellSpec, FaultSpec, Progress, ResultStore, RunPlan, RunnerOptions, TopoSpec, WhatIfQuery,
+};
+
+/// The built-in `--smoke` campaign: 2 topologies × 2 schemes × 2 loads on
+/// tiny networks with short windows, small enough for CI to run twice
+/// (interrupted + resumed) in seconds.
+const SMOKE_CAMPAIGN: &str = r#"{
+    "schema": "regnet-campaign-v1",
+    "name": "smoke",
+    "defaults": {
+        "warmup_cycles": 2000,
+        "measure_cycles": 10000,
+        "payload_flits": 64,
+        "seed": 7,
+        "goodput_interval": 2500
+    },
+    "sweeps": [
+        {
+            "group": "smoke torus",
+            "topos": ["torus:4x4:2"],
+            "schemes": ["UP/DOWN", "ITB-RR"],
+            "patterns": ["uniform"],
+            "loads": [0.004, 0.008]
+        },
+        {
+            "group": "smoke express",
+            "topos": ["express:4x4:2"],
+            "schemes": ["UP/DOWN", "ITB-RR"],
+            "patterns": ["uniform"],
+            "loads": [0.01, 0.02]
+        }
+    ]
+}"#;
+
+fn usage() -> &'static str {
+    "usage: campaign <file.json> [options]\n\
+     \n\
+     options:\n\
+       --out DIR        results directory (default target/campaigns/<name>)\n\
+       --threads N      worker threads (default REGNET_THREADS or all cores)\n\
+       --stop-after N   run at most N pending cells, then exit (resumable)\n\
+       --fresh          discard existing checkpoints before running\n\
+       --dry-run        print the expanded cell plan and exit\n\
+       --quiet          suppress per-cell progress lines\n\
+       --smoke          run the built-in tiny CI campaign (no file needed)\n\
+       --what-if SPEC   bisect for the saturation load of one scenario:\n\
+                        SPEC is comma-separated key=value with keys\n\
+                        topo, scheme, pattern (required) and seed, warmup,\n\
+                        measure, payload, fault, start, growth, tol, probes"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let (name_hint, text) = if smoke {
+        ("smoke".to_string(), SMOKE_CAMPAIGN.to_string())
+    } else {
+        let file = args
+            .iter()
+            .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+            .ok_or_else(|| format!("no campaign file given\n{}", usage()))?;
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        (file.clone(), text)
+    };
+
+    let spec = CampaignSpec::from_json_str(&text).map_err(|e| format!("{name_hint}: {e}"))?;
+    let plan = spec.expand()?;
+
+    let out = parse_flag_value(args, "--out")
+        .unwrap_or_else(|| format!("target/campaigns/{}", spec.name));
+    let threads = match parse_flag_value(args, "--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads {v:?} is not a positive integer"))?,
+        None => regnet_bench::threads(),
+    };
+
+    if let Some(query) = parse_flag_value(args, "--what-if") {
+        return run_what_if(&query, &out, quiet);
+    }
+
+    if args.iter().any(|a| a == "--dry-run") {
+        println!("campaign {:?}: {} cells", plan.name, plan.len());
+        for cell in &plan.cells {
+            println!("{}  {}", cell.hash, cell.key);
+        }
+        return Ok(());
+    }
+
+    let stop_after = match parse_flag_value(args, "--stop-after") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--stop-after {v:?} is not an integer"))?,
+        ),
+        None => None,
+    };
+
+    let store = ResultStore::open(&out)?;
+    if args.iter().any(|a| a == "--fresh") {
+        store.clear()?;
+        if !quiet {
+            Progress::announce("campaign", &format!("cleared checkpoints under {out}"));
+        }
+    }
+
+    run_campaign(&plan, &store, threads, stop_after, quiet)
+}
+
+/// Run (or resume) `plan` against `store`, streaming curve exports after
+/// every landed cell.
+fn run_campaign(
+    plan: &RunPlan,
+    store: &ResultStore,
+    threads: usize,
+    stop_after: Option<usize>,
+    quiet: bool,
+) -> Result<(), String> {
+    let mut results = store.load_all()?;
+    // Keep only results that belong to this plan (the store may hold
+    // cells from what-if probes or an older campaign revision).
+    let planned: std::collections::BTreeSet<&str> =
+        plan.cells.iter().map(|c| c.hash.as_str()).collect();
+    results.retain(|h, _| planned.contains(h.as_str()));
+    let resumed = results.len();
+    if !quiet {
+        Progress::announce(
+            "campaign",
+            &format!(
+                "{:?}: {} cells, {} already checkpointed, {} threads, results under {}",
+                plan.name,
+                plan.len(),
+                resumed,
+                threads,
+                store.root().display()
+            ),
+        );
+    }
+
+    let pending = plan.len() - resumed;
+    let mut progress = if quiet {
+        Progress::start_quiet("campaign", pending)
+    } else {
+        Progress::start("campaign", pending)
+    };
+    let opts = RunnerOptions {
+        threads,
+        stop_after,
+    };
+    let out_dir = store.root().to_path_buf();
+    let mut export_err: Option<String> = None;
+    let outcome = run_plan(plan, store, &opts, |done| {
+        results.insert(done.result.hash.clone(), done.result.clone());
+        progress.step(&format!(
+            "{} accepted {:.5} avg {:.0}ns",
+            done.cell.hash, done.result.accepted, done.result.avg_latency_ns
+        ));
+        if export_err.is_none() {
+            if let Err(e) = export_campaign(plan, &results, &out_dir) {
+                export_err = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = export_err {
+        return Err(e);
+    }
+
+    // A fully resumed campaign runs zero cells but should still leave
+    // fresh aggregate artifacts behind.
+    if outcome.ran == 0 && !results.is_empty() {
+        export_campaign(plan, &results, &out_dir)?;
+    }
+
+    if outcome.complete() {
+        progress.finish(&format!(
+            "campaign complete ({} ran, {} resumed); curves under {}",
+            outcome.ran,
+            outcome.skipped,
+            out_dir.join("curves").display()
+        ));
+    } else {
+        progress.finish(&format!(
+            "stopped early: {} cells still pending; re-run to resume",
+            outcome.remaining
+        ));
+    }
+    Ok(())
+}
+
+/// `--what-if`: bisect for the saturation load of a single scenario,
+/// caching every probe through the same result store.
+fn run_what_if(spec_str: &str, out: &str, quiet: bool) -> Result<(), String> {
+    let query = parse_what_if(spec_str)?;
+    let store = ResultStore::open(out)?;
+    if !quiet {
+        Progress::announce(
+            "what-if",
+            &format!(
+                "bisecting saturation of {} (probes cached under {})",
+                query.cell.canonical_key(),
+                store.root().display()
+            ),
+        );
+    }
+    let result = what_if(&query, &store, |load, saturated, cached| {
+        if !quiet {
+            Progress::announce(
+                "what-if",
+                &format!(
+                    "probe load {load:.6}: {}{}",
+                    if saturated { "saturated" } else { "ok" },
+                    if cached { " (cached)" } else { "" }
+                ),
+            );
+        }
+    })?;
+    println!(
+        "saturation load in [{:.6}, {:.6}], estimate {:.6} (throughput {:.5} flits/ns/switch)",
+        result.lo,
+        result.hi,
+        result.saturation_load(),
+        result.throughput
+    );
+    println!(
+        "probes: {} simulated, {} from cache{}",
+        result.ran,
+        result.cached,
+        if result.converged {
+            ""
+        } else {
+            " — probe budget exhausted before convergence"
+        }
+    );
+    Ok(())
+}
+
+/// Parse the `--what-if` scenario string (`topo=...,scheme=...,...`).
+fn parse_what_if(s: &str) -> Result<WhatIfQuery, String> {
+    let defaults = CellDefaults::default();
+    let mut topo: Option<TopoSpec> = None;
+    let mut scheme = None;
+    let mut pattern = None;
+    let mut cell = CellSpec {
+        topo: TopoSpec::Torus,
+        scheme: regnet_core::RoutingScheme::UpDown,
+        pattern: regnet_traffic::PatternSpec::Uniform,
+        load: 0.0,
+        seed: defaults.seed,
+        warmup_cycles: defaults.warmup_cycles,
+        measure_cycles: defaults.measure_cycles,
+        payload_flits: defaults.payload_flits,
+        scheduler: defaults.scheduler,
+        goodput_interval: None,
+        reconfig_latency_cycles: None,
+        faults: None,
+    };
+    let mut start = None;
+    let mut growth = None;
+    let mut tol = None;
+    let mut probes = None;
+    for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("what-if field {part:?} is not key=value"))?;
+        let (k, v) = (k.trim(), v.trim());
+        match k {
+            "topo" => topo = Some(TopoSpec::parse(v)?),
+            "scheme" => scheme = Some(parse_scheme(v)?),
+            "pattern" => pattern = Some(parse_pattern(v)?),
+            "seed" => cell.seed = parse_num(k, v)?,
+            "warmup" => cell.warmup_cycles = parse_num(k, v)?,
+            "measure" => cell.measure_cycles = parse_num(k, v)?,
+            "payload" => cell.payload_flits = parse_num(k, v)?,
+            "fault" => cell.faults = Some(FaultSpec::parse("what-if", v)?),
+            "start" => start = Some(parse_float(k, v)?),
+            "growth" => growth = Some(parse_float(k, v)?),
+            "tol" => tol = Some(parse_float(k, v)?),
+            "probes" => probes = Some(parse_num(k, v)?),
+            other => return Err(format!("unknown what-if field {other:?}")),
+        }
+    }
+    cell.topo = topo.ok_or("what-if needs topo=...")?;
+    cell.scheme = scheme.ok_or("what-if needs scheme=...")?;
+    cell.pattern = pattern.ok_or("what-if needs pattern=...")?;
+    let mut query = WhatIfQuery::new(cell);
+    if let Some(v) = start {
+        query.start = v;
+    }
+    if let Some(v) = growth {
+        query.growth = v;
+    }
+    if let Some(v) = tol {
+        query.rel_tol = v;
+    }
+    if let Some(v) = probes {
+        query.max_probes = v;
+    }
+    Ok(query)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("what-if {key}={v:?} is not a valid number"))
+}
+
+fn parse_float(key: &str, v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .map_err(|_| format!("what-if {key}={v:?} is not a number"))
+}
+
+/// Is `arg` the value slot of a `--flag VALUE` pair (not a free operand)?
+fn is_flag_value(args: &[String], arg: &String) -> bool {
+    const VALUE_FLAGS: [&str; 4] = ["--out", "--threads", "--stop-after", "--what-if"];
+    args.iter()
+        .position(|a| std::ptr::eq(a, arg))
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .is_some_and(|prev| VALUE_FLAGS.contains(&prev.as_str()))
+}

@@ -17,6 +17,7 @@
 //! output file names carry the topology.
 
 use regnet_bench::{save_curves, save_time_series, threads, Topo};
+use regnet_campaign::Progress;
 use regnet_core::{RouteDbConfig, RoutingScheme};
 use regnet_metrics::{Curve, CurvePoint, TimeSeries};
 use regnet_netsim::experiment::{par_map, Experiment, RunOptions};
@@ -121,11 +122,13 @@ fn experiment(p: &Params, scheme: RoutingScheme) -> Experiment {
 /// the measurement window sees the reconfigured steady state.
 fn throughput_vs_failed_links(p: &Params) {
     let mut curves = Vec::new();
-    for scheme in [
+    let schemes = [
         RoutingScheme::UpDown,
         RoutingScheme::ItbSp,
         RoutingScheme::ItbRr,
-    ] {
+    ];
+    let mut progress = Progress::start("fault-sweep", schemes.len());
+    for scheme in schemes {
         let exp = experiment(p, scheme);
         let results = par_map(p.ks.len(), threads(), |i| {
             let k = p.ks[i];
@@ -168,7 +171,13 @@ fn throughput_vs_failed_links(p: &Params) {
             });
         }
         curves.push(curve);
+        progress.step(&format!(
+            "{} across {} failure counts",
+            scheme.label(),
+            p.ks.len()
+        ));
     }
+    progress.finish("");
     save_curves(
         &format!("fault_throughput_vs_failed_links_{}", p.topo_name),
         &curves,
@@ -184,11 +193,13 @@ fn goodput_dip(p: &Params) {
         format!("goodput through a link fail/repair ({fail_at}/{repair_at})"),
         p.interval,
     );
-    for scheme in [
+    let schemes = [
         RoutingScheme::UpDown,
         RoutingScheme::ItbSp,
         RoutingScheme::ItbRr,
-    ] {
+    ];
+    let mut progress = Progress::start("goodput-dip", schemes.len());
+    for scheme in schemes {
         let exp = experiment(p, scheme);
         let link = spaced_switch_links(exp.topology(), 1)[0];
         let mut plan = FaultPlan::single_link(link, fail_at);
@@ -224,15 +235,20 @@ fn goodput_dip(p: &Params) {
             rel.dropped_packets,
         );
         ts.push(scheme.label(), per_ns);
+        progress.step(scheme.label());
     }
+    progress.finish("");
     save_time_series(&format!("fault_goodput_dip_{}", p.topo_name), &ts);
 }
 
 fn main() {
     let p = params();
-    println!(
-        "fault sweep: offered {:.4}, warmup {}, measure {}, ks {:?}",
-        p.offered, p.warmup, p.measure, p.ks
+    Progress::announce(
+        "fault-sweep",
+        &format!(
+            "offered {:.4}, warmup {}, measure {}, ks {:?}",
+            p.offered, p.warmup, p.measure, p.ks
+        ),
     );
     throughput_vs_failed_links(&p);
     goodput_dip(&p);

@@ -1,0 +1,53 @@
+//! Campaign orchestrator: thousands of simulator runs as the unit of work.
+//!
+//! The paper's figures are *sweeps* — topology × scheme × load × seed
+//! (× fault plan). This crate turns such a sweep into a first-class
+//! artifact:
+//!
+//! * [`spec`] — a declarative JSON campaign file parsed into a
+//!   [`CampaignSpec`], expanded into deduplicated [`CellSpec`] cells
+//!   keyed by a deterministic FNV-1a config hash.
+//! * [`cell`] — runs one cell through [`regnet_netsim::Experiment`] and
+//!   captures a serializable [`CellResult`] (RunStats + reliability +
+//!   run digest + utilization + goodput series).
+//! * [`store`] — a checkpointing [`ResultStore`]: one JSON file per cell
+//!   named by its config hash, written atomically (tmp + rename), so an
+//!   interrupted campaign resumes by skipping already-hashed cells.
+//! * [`runner`] — the work-queue that fans pending cells across a
+//!   `std::thread::scope` worker pool sized by
+//!   [`regnet_netsim::threads`], streaming completions back in
+//!   completion order while keeping aggregation deterministic.
+//! * [`aggregate`] — derived curves (latency-vs-load per group,
+//!   saturation summary, goodput-dip time series) exported through
+//!   `regnet_metrics` as `.dat`/`.gp`/JSON.
+//! * [`whatif`] — targeted saturation-point bisection ("what's the
+//!   saturation load for this topology+scheme+fault?") that caches every
+//!   probe through the same store instead of running a full grid.
+//! * [`progress`] — the shared stderr progress/ETA printer also used by
+//!   the `fault_sweep` and `bench_report` binaries.
+//!
+//! Determinism contract: a cell's results depend only on its spec (the
+//! simulator is bit-deterministic for a given seed on every scheduler),
+//! so the store keyed by config hash is invariant to worker count and
+//! completion order, and a killed-then-resumed campaign converges to the
+//! same results directory as an uninterrupted one.
+
+pub mod aggregate;
+pub mod cell;
+pub mod progress;
+pub mod runner;
+pub mod spec;
+pub mod store;
+pub mod whatif;
+
+pub use aggregate::{export_campaign, Aggregates};
+pub use cell::{run_cell, CellResult};
+pub use progress::Progress;
+pub use runner::{run_plan, RunOutcome, RunnerOptions};
+pub use spec::{
+    fnv1a64, parse_pattern, parse_scheme, pattern_key, scheduler_key, CampaignSpec, CellDefaults,
+    CellSpec, FaultKind, FaultSpec, FaultSpecEvent, PlannedCell, RunPlan, Sweep, TopoSpec,
+    CAMPAIGN_SCHEMA,
+};
+pub use store::ResultStore;
+pub use whatif::{what_if, WhatIfQuery, WhatIfResult};

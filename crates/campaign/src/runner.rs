@@ -1,0 +1,277 @@
+//! The campaign work-queue: fan pending cells across a worker pool,
+//! checkpoint each result as it lands.
+//!
+//! Workers pull cell indices from a shared atomic counter (no
+//! pre-partitioning, so one slow cell never idles the pool) and send
+//! finished [`CellResult`]s back over a channel; the **main thread** owns
+//! the [`ResultStore`] and the progress callback, so checkpointing stays
+//! single-writer and the callback needs no synchronization. Because each
+//! cell is bit-deterministic given its spec and results are keyed by
+//! config hash, the store's final contents are independent of worker
+//! count and completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::cell::{run_cell, CellResult};
+use crate::spec::{PlannedCell, RunPlan};
+use crate::store::ResultStore;
+
+/// Work-queue knobs.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads (1 = run cells on the calling thread).
+    pub threads: usize,
+    /// Run at most this many pending cells, then stop — the controlled
+    /// "kill it halfway" used by the resume tests and `--stop-after`.
+    /// The truncation is deterministic: the first N cells of the pending
+    /// queue are kept, in plan order.
+    pub stop_after: Option<usize>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            threads: 1,
+            stop_after: None,
+        }
+    }
+}
+
+/// Progress event delivered (on the caller's thread) after each cell is
+/// checkpointed.
+pub struct CellDone<'a> {
+    pub cell: &'a PlannedCell,
+    pub result: &'a CellResult,
+    /// Cells finished during this invocation so far (1-based).
+    pub completed: usize,
+    /// Cells this invocation set out to run.
+    pub pending: usize,
+}
+
+/// What one invocation did.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Cells executed (and checkpointed) by this invocation.
+    pub ran: usize,
+    /// Cells skipped because the store already had their hash (resume).
+    pub skipped: usize,
+    /// Cells left unrun because `stop_after` cut the queue short.
+    pub remaining: usize,
+}
+
+impl RunOutcome {
+    /// Did this invocation finish the whole plan?
+    pub fn complete(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Run every cell of `plan` that is not already checkpointed in `store`,
+/// fanning across `opts.threads` workers; `on_done` fires on the calling
+/// thread after each checkpoint lands.
+pub fn run_plan(
+    plan: &RunPlan,
+    store: &ResultStore,
+    opts: &RunnerOptions,
+    mut on_done: impl FnMut(CellDone<'_>),
+) -> Result<RunOutcome, String> {
+    let mut pending: Vec<&PlannedCell> = plan
+        .cells
+        .iter()
+        .filter(|c| !store.contains(&c.hash))
+        .collect();
+    let skipped = plan.cells.len() - pending.len();
+    let mut remaining = 0;
+    if let Some(n) = opts.stop_after {
+        if pending.len() > n {
+            remaining = pending.len() - n;
+            pending.truncate(n);
+        }
+    }
+    if pending.is_empty() {
+        return Ok(RunOutcome {
+            ran: 0,
+            skipped,
+            remaining,
+        });
+    }
+
+    let workers = opts.threads.clamp(1, pending.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<CellResult, String>)>();
+    let mut errors: Vec<String> = Vec::new();
+    let mut completed = 0usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let pending = &pending;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pending.len() {
+                    break;
+                }
+                // A dropped receiver means the main thread bailed on a
+                // checkpoint error; just stop pulling work.
+                if tx.send((i, run_cell(&pending[i].spec))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, outcome) in rx {
+            match outcome {
+                Ok(result) => {
+                    if let Err(e) = store.save(&result) {
+                        errors.push(e);
+                        break;
+                    }
+                    completed += 1;
+                    on_done(CellDone {
+                        cell: pending[i],
+                        result: &result,
+                        completed,
+                        pending: pending.len(),
+                    });
+                }
+                Err(e) => errors.push(format!("cell {}: {e}", pending[i].hash)),
+            }
+        }
+    });
+
+    if let Some(first) = errors.first() {
+        let extra = errors.len() - 1;
+        return Err(if extra > 0 {
+            format!("{first} (+{extra} more cell errors)")
+        } else {
+            first.clone()
+        });
+    }
+    Ok(RunOutcome {
+        ran: completed,
+        skipped,
+        remaining,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+    use std::fs;
+
+    fn tiny_plan() -> RunPlan {
+        CampaignSpec::from_json_str(
+            r#"{
+                "name": "runner-test",
+                "defaults": {"warmup_cycles": 2000, "measure_cycles": 10000,
+                             "payload_flits": 64, "seed": 7},
+                "sweeps": [
+                    {"group": "g", "topos": ["torus:4x4:2"], "schemes": ["ITB-RR", "UP/DOWN"],
+                     "patterns": ["uniform"], "loads": [0.004, 0.008]}
+                ]
+            }"#,
+        )
+        .unwrap()
+        .expand()
+        .unwrap()
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, ResultStore) {
+        let dir = std::env::temp_dir().join(format!("regnet-runner-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn pool_runs_everything_and_resume_skips() {
+        let plan = tiny_plan();
+        let (dir, store) = temp_store("pool");
+        let mut seen = 0;
+        let out = run_plan(&plan, &store, &RunnerOptions::default(), |d| {
+            seen = d.completed;
+            assert_eq!(d.pending, 4);
+        })
+        .unwrap();
+        assert_eq!(out.ran, 4);
+        assert_eq!(out.skipped, 0);
+        assert!(out.complete());
+        assert_eq!(seen, 4);
+        assert_eq!(store.len(), 4);
+        // Second invocation: everything is checkpointed already.
+        let again = run_plan(&plan, &store, &RunnerOptions::default(), |_| {
+            panic!("nothing should run on resume of a finished campaign")
+        })
+        .unwrap();
+        assert_eq!(again.ran, 0);
+        assert_eq!(again.skipped, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let plan = tiny_plan();
+        let (dir1, s1) = temp_store("t1");
+        let (dir4, s4) = temp_store("t4");
+        run_plan(
+            &plan,
+            &s1,
+            &RunnerOptions {
+                threads: 1,
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        run_plan(
+            &plan,
+            &s4,
+            &RunnerOptions {
+                threads: 4,
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let a = s1.load_all().unwrap();
+        let b = s4.load_all().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (hash, ra) in &a {
+            assert!(
+                ra.same_results(&b[hash]),
+                "cell {hash} differs across worker counts"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir1);
+        let _ = fs::remove_dir_all(&dir4);
+    }
+
+    #[test]
+    fn stop_after_truncates_then_resume_completes() {
+        let plan = tiny_plan();
+        let (dir, store) = temp_store("stop");
+        let out = run_plan(
+            &plan,
+            &store,
+            &RunnerOptions {
+                threads: 2,
+                stop_after: Some(2),
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(out.ran, 2);
+        assert_eq!(out.remaining, 2);
+        assert!(!out.complete());
+        assert_eq!(store.len(), 2);
+        let resumed = run_plan(&plan, &store, &RunnerOptions::default(), |_| {}).unwrap();
+        assert_eq!(resumed.ran, 2);
+        assert_eq!(resumed.skipped, 2);
+        assert!(resumed.complete());
+        assert_eq!(store.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,1003 @@
+//! Declarative campaign specifications.
+//!
+//! A campaign file is a JSON document describing a *grid* of simulation
+//! cells — topology × scheme × pattern × load × seed × fault-plan — plus
+//! per-campaign defaults. [`CampaignSpec::from_json_str`] parses it with
+//! the workspace's own JSON reader ([`regnet_metrics::JsonValue`]), and
+//! [`CampaignSpec::expand`] flattens every sweep into deduplicated
+//! [`CellSpec`]s keyed by a deterministic config hash (see
+//! [`CellSpec::canonical_key`]). The hash is what makes dedup and
+//! checkpoint/resume correct: the same cell always hashes the same, no
+//! matter how the JSON was ordered or which sweep produced it.
+
+use regnet_core::RoutingScheme;
+use regnet_metrics::JsonValue;
+use regnet_netsim::{FaultPlan, Scheduler, SimConfig};
+use regnet_topology::{gen, HostId, LinkId, SwitchId, Topology};
+use regnet_traffic::PatternSpec;
+
+/// Current campaign-file schema identifier.
+pub const CAMPAIGN_SCHEMA: &str = "regnet-campaign-v1";
+
+/// Topology selector: the paper's three named topologies, or a parametric
+/// torus / express torus for scaled campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// 8×8 2-D torus, 8 hosts/switch (the paper's Figure 4).
+    Torus,
+    /// 8×8 2-D torus with express channels (Figure 5).
+    Express,
+    /// CPLANT, 50 switches / 400 hosts (Figure 6).
+    Cplant,
+    /// `torus:<rows>x<cols>:<hosts-per-switch>`.
+    TorusCustom { rows: u32, cols: u32, hosts: u32 },
+    /// `express:<rows>x<cols>:<hosts-per-switch>`.
+    ExpressCustom { rows: u32, cols: u32, hosts: u32 },
+}
+
+impl TopoSpec {
+    /// Parse the campaign-file spelling.
+    pub fn parse(s: &str) -> Result<TopoSpec, String> {
+        let s = s.trim();
+        match s {
+            "torus" => return Ok(TopoSpec::Torus),
+            "express" => return Ok(TopoSpec::Express),
+            "cplant" => return Ok(TopoSpec::Cplant),
+            _ => {}
+        }
+        let (kind, rest) = s.split_once(':').ok_or_else(|| {
+            format!("unknown topology {s:?} (torus|express|cplant|torus:RxC:H|express:RxC:H)")
+        })?;
+        let (grid, hosts) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad topology {s:?}: expected {kind}:<rows>x<cols>:<hosts>"))?;
+        let (r, c) = grid
+            .split_once('x')
+            .ok_or_else(|| format!("bad topology grid {grid:?}: expected <rows>x<cols>"))?;
+        let parse_u32 = |v: &str, what: &str| {
+            v.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad {what} {v:?} in topology {s:?}"))
+        };
+        let rows = parse_u32(r, "rows")?;
+        let cols = parse_u32(c, "cols")?;
+        let hosts = parse_u32(hosts, "hosts-per-switch")?;
+        match kind {
+            "torus" => Ok(TopoSpec::TorusCustom { rows, cols, hosts }),
+            "express" => Ok(TopoSpec::ExpressCustom { rows, cols, hosts }),
+            other => Err(format!("unknown topology family {other:?} in {s:?}")),
+        }
+    }
+
+    /// Canonical spelling (stable; feeds the config hash).
+    pub fn key(&self) -> String {
+        match self {
+            TopoSpec::Torus => "torus".into(),
+            TopoSpec::Express => "express".into(),
+            TopoSpec::Cplant => "cplant".into(),
+            TopoSpec::TorusCustom { rows, cols, hosts } => format!("torus:{rows}x{cols}:{hosts}"),
+            TopoSpec::ExpressCustom { rows, cols, hosts } => {
+                format!("express:{rows}x{cols}:{hosts}")
+            }
+        }
+    }
+
+    /// Build the topology.
+    pub fn build(&self) -> Result<Topology, String> {
+        let built = match *self {
+            TopoSpec::Torus => gen::torus_2d(8, 8, 8),
+            TopoSpec::Express => gen::torus_2d_express(8, 8, 8),
+            TopoSpec::Cplant => gen::cplant(),
+            TopoSpec::TorusCustom { rows, cols, hosts } => {
+                gen::torus_2d(rows as usize, cols as usize, hosts as usize)
+            }
+            TopoSpec::ExpressCustom { rows, cols, hosts } => {
+                gen::torus_2d_express(rows as usize, cols as usize, hosts as usize)
+            }
+        };
+        built.map_err(|e| format!("cannot build topology {}: {e}", self.key()))
+    }
+}
+
+/// Parse a routing scheme from its paper label or a relaxed spelling
+/// (`UP/DOWN`, `up-down`, `itb-rr`, `ITB_RR`, …).
+pub fn parse_scheme(s: &str) -> Result<RoutingScheme, String> {
+    let norm: String = s
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    match norm.as_str() {
+        "updown" | "ud" => Ok(RoutingScheme::UpDown),
+        "itbsp" => Ok(RoutingScheme::ItbSp),
+        "itbrr" => Ok(RoutingScheme::ItbRr),
+        "itbrnd" | "itbrandom" => Ok(RoutingScheme::ItbRandom),
+        _ => Err(format!(
+            "unknown routing scheme {s:?} (UP/DOWN|ITB-SP|ITB-RR|ITB-RND)"
+        )),
+    }
+}
+
+/// Parse a traffic pattern: `uniform`, `bit-reversal`, `transpose`,
+/// `complement`, `local:<max-switch-dist>`, `hotspot:<fraction>@<host>`.
+pub fn parse_pattern(s: &str) -> Result<PatternSpec, String> {
+    let s = s.trim();
+    match s {
+        "uniform" => return Ok(PatternSpec::Uniform),
+        "bit-reversal" | "bitreversal" | "bitrev" => return Ok(PatternSpec::BitReversal),
+        "transpose" => return Ok(PatternSpec::Transpose),
+        "complement" => return Ok(PatternSpec::Complement),
+        _ => {}
+    }
+    if let Some(d) = s.strip_prefix("local:") {
+        let max_switch_dist = d
+            .trim()
+            .parse::<u16>()
+            .map_err(|_| format!("bad local radius in pattern {s:?}"))?;
+        return Ok(PatternSpec::Local { max_switch_dist });
+    }
+    if let Some(rest) = s.strip_prefix("hotspot:") {
+        let (frac, host) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("bad pattern {s:?}: expected hotspot:<fraction>@<host>"))?;
+        let fraction = frac
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("bad hotspot fraction in pattern {s:?}"))?;
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(format!("hotspot fraction {fraction} out of [0,1] in {s:?}"));
+        }
+        let host = host
+            .trim()
+            .trim_start_matches(['H', 'h'])
+            .parse::<u32>()
+            .map_err(|_| format!("bad hotspot host in pattern {s:?}"))?;
+        return Ok(PatternSpec::Hotspot {
+            fraction,
+            host: HostId(host),
+        });
+    }
+    Err(format!(
+        "unknown pattern {s:?} (uniform|bit-reversal|transpose|complement|local:<d>|hotspot:<f>@<host>)"
+    ))
+}
+
+/// Canonical spelling of a pattern (stable; feeds the config hash).
+pub fn pattern_key(p: &PatternSpec) -> String {
+    match p {
+        PatternSpec::Uniform => "uniform".into(),
+        PatternSpec::BitReversal => "bit-reversal".into(),
+        PatternSpec::Transpose => "transpose".into(),
+        PatternSpec::Complement => "complement".into(),
+        PatternSpec::Local { max_switch_dist } => format!("local:{max_switch_dist}"),
+        PatternSpec::Hotspot { fraction, host } => format!("hotspot:{fraction}@{}", host.0),
+    }
+}
+
+/// One scripted fault event of a cell's fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultSpecEvent {
+    pub cycle: u64,
+    pub kind: FaultKind,
+    pub id: u32,
+}
+
+/// Fault action kinds supported in campaign files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    FailLink,
+    RepairLink,
+    FailSwitch,
+    RepairSwitch,
+    FailHost,
+    RepairHost,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FailLink => "fail_link",
+            FaultKind::RepairLink => "repair_link",
+            FaultKind::FailSwitch => "fail_switch",
+            FaultKind::RepairSwitch => "repair_switch",
+            FaultKind::FailHost => "fail_host",
+            FaultKind::RepairHost => "repair_host",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "fail_link" => Some(FaultKind::FailLink),
+            "repair_link" => Some(FaultKind::RepairLink),
+            "fail_switch" => Some(FaultKind::FailSwitch),
+            "repair_switch" => Some(FaultKind::RepairSwitch),
+            "fail_host" => Some(FaultKind::FailHost),
+            "repair_host" => Some(FaultKind::RepairHost),
+            _ => None,
+        }
+    }
+}
+
+/// A named, scripted fault plan for a cell. The label is presentation
+/// only; the config hash covers the (canonically ordered) events, so two
+/// labels over the same events are the same cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub label: String,
+    /// Events, canonically sorted by (cycle, kind, id).
+    pub events: Vec<FaultSpecEvent>,
+}
+
+impl FaultSpec {
+    pub fn new(label: impl Into<String>, mut events: Vec<FaultSpecEvent>) -> FaultSpec {
+        events.sort();
+        FaultSpec {
+            label: label.into(),
+            events,
+        }
+    }
+
+    /// Canonical spelling: `fail_link:3@0+repair_link:3@4000`.
+    pub fn key(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| format!("{}:{}@{}", e.kind.name(), e.id, e.cycle))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Parse the canonical spelling (used by `--what-if fault=` queries).
+    pub fn parse(label: &str, s: &str) -> Result<FaultSpec, String> {
+        let mut events = Vec::new();
+        for part in s.split('+').filter(|p| !p.trim().is_empty()) {
+            let (kind, rest) = part
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault event {part:?}: expected <kind>:<id>@<cycle>"))?;
+            let kind = FaultKind::parse(kind)
+                .ok_or_else(|| format!("unknown fault kind {kind:?} in {part:?}"))?;
+            let (id, cycle) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("bad fault event {part:?}: expected <kind>:<id>@<cycle>"))?;
+            let id = id
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad id in fault event {part:?}"))?;
+            let cycle = cycle
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad cycle in fault event {part:?}"))?;
+            events.push(FaultSpecEvent { cycle, kind, id });
+        }
+        if events.is_empty() {
+            return Err(format!("fault spec {s:?} has no events"));
+        }
+        Ok(FaultSpec::new(label, events))
+    }
+
+    /// Lower into the simulator's [`FaultPlan`].
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for e in &self.events {
+            match e.kind {
+                FaultKind::FailLink => plan.fail_link(e.cycle, LinkId(e.id)),
+                FaultKind::RepairLink => plan.repair_link(e.cycle, LinkId(e.id)),
+                FaultKind::FailSwitch => plan.fail_switch(e.cycle, SwitchId(e.id)),
+                FaultKind::RepairSwitch => plan.repair_switch(e.cycle, SwitchId(e.id)),
+                FaultKind::FailHost => plan.fail_host(e.cycle, HostId(e.id)),
+                FaultKind::RepairHost => plan.repair_host(e.cycle, HostId(e.id)),
+            };
+        }
+        plan
+    }
+}
+
+/// One fully specified simulation cell: everything that determines the
+/// run's results, and nothing that doesn't.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    pub topo: TopoSpec,
+    pub scheme: RoutingScheme,
+    pub pattern: PatternSpec,
+    /// Offered load, flits/ns/switch.
+    pub load: f64,
+    pub seed: u64,
+    pub warmup_cycles: u64,
+    pub measure_cycles: u64,
+    pub payload_flits: usize,
+    /// Cycle-loop driver. Part of the key so switching drivers re-runs
+    /// cells (all drivers are bit-identical, but the spec is the spec).
+    pub scheduler: Scheduler,
+    /// Goodput time-series sampling interval; observers do not perturb
+    /// results, but a cached cell without the series cannot serve a
+    /// campaign that wants it, so it is part of the key.
+    pub goodput_interval: Option<u64>,
+    /// Override of [`SimConfig::reconfig_latency_cycles`] (smoke campaigns
+    /// shrink it so reconfiguration completes inside tiny windows).
+    pub reconfig_latency_cycles: Option<u64>,
+    pub faults: Option<FaultSpec>,
+}
+
+/// Scheduler spelling for the config hash (`parallel` carries its shard
+/// count: shard count determines nothing about the results, but it *is*
+/// part of the declared spec).
+pub fn scheduler_key(s: Scheduler) -> String {
+    match s.parallel_threads() {
+        Some(n) => format!("parallel:{n}"),
+        None => s.label().to_string(),
+    }
+}
+
+impl CellSpec {
+    /// Canonical key: a fixed-order rendering of every result-relevant
+    /// field. Floats use Rust's shortest-roundtrip formatting, which is
+    /// injective over distinct values, so distinct loads always produce
+    /// distinct keys. Field order in the *JSON file* is irrelevant by
+    /// construction — parsing goes through the struct.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "topo={};scheme={};pattern={};load={};seed={};warmup={};measure={};payload={};sched={};goodput={};reconfig={};faults={}",
+            self.topo.key(),
+            self.scheme.label(),
+            pattern_key(&self.pattern),
+            self.load,
+            self.seed,
+            self.warmup_cycles,
+            self.measure_cycles,
+            self.payload_flits,
+            scheduler_key(self.scheduler),
+            self.goodput_interval.map_or("off".into(), |i| i.to_string()),
+            self.reconfig_latency_cycles
+                .map_or("default".into(), |i| i.to_string()),
+            self.faults.as_ref().map_or("none".into(), |f| f.key()),
+        )
+    }
+
+    /// FNV-1a 64 over the canonical key — the cell's identity for dedup,
+    /// checkpoint file names and resume.
+    pub fn config_hash(&self) -> u64 {
+        fnv1a64(self.canonical_key().as_bytes())
+    }
+
+    /// The config hash as the 16-hex-digit spelling used for file names.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.config_hash())
+    }
+}
+
+/// FNV-1a 64-bit (same family the trace digest uses).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Campaign-wide cell defaults; every sweep may override any of them.
+#[derive(Debug, Clone)]
+pub struct CellDefaults {
+    pub warmup_cycles: u64,
+    pub measure_cycles: u64,
+    pub seed: u64,
+    pub payload_flits: usize,
+    pub scheduler: Scheduler,
+    pub goodput_interval: Option<u64>,
+    pub reconfig_latency_cycles: Option<u64>,
+}
+
+impl Default for CellDefaults {
+    fn default() -> Self {
+        CellDefaults {
+            warmup_cycles: 60_000,
+            measure_cycles: 150_000,
+            seed: 1,
+            payload_flits: SimConfig::default().payload_flits,
+            scheduler: Scheduler::default(),
+            goodput_interval: None,
+            reconfig_latency_cycles: None,
+        }
+    }
+}
+
+/// One sweep: the cross product of its axes, with optional overrides of
+/// the campaign defaults.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Aggregation group: cells of one group land in one curve family.
+    pub group: String,
+    pub topos: Vec<TopoSpec>,
+    pub schemes: Vec<RoutingScheme>,
+    pub patterns: Vec<PatternSpec>,
+    pub loads: Vec<f64>,
+    pub seeds: Vec<u64>,
+    pub schedulers: Vec<Scheduler>,
+    /// Fault plans; `None` entries are fault-free cells. Defaults to one
+    /// fault-free entry.
+    pub faults: Vec<Option<FaultSpec>>,
+    pub defaults: CellDefaults,
+}
+
+/// A parsed campaign file.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    pub name: String,
+    pub defaults: CellDefaults,
+    pub sweeps: Vec<Sweep>,
+}
+
+/// One deduplicated cell of the expanded plan, with every group that
+/// produced it (overlapping sweeps merge here).
+#[derive(Debug, Clone)]
+pub struct PlannedCell {
+    pub spec: CellSpec,
+    pub hash: String,
+    pub key: String,
+    pub groups: Vec<String>,
+}
+
+/// The expanded, deduplicated campaign: the work-queue's input.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    pub name: String,
+    /// Cells in first-occurrence order of the campaign file.
+    pub cells: Vec<PlannedCell>,
+}
+
+impl RunPlan {
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl CampaignSpec {
+    /// Parse a campaign file.
+    pub fn from_json_str(text: &str) -> Result<CampaignSpec, String> {
+        let doc = JsonValue::parse(text).map_err(|e| format!("campaign file is not JSON: {e}"))?;
+        if let Some(schema) = doc.get("schema").and_then(|v| v.as_str()) {
+            if schema != CAMPAIGN_SCHEMA {
+                return Err(format!(
+                    "unsupported campaign schema {schema:?} (this build reads {CAMPAIGN_SCHEMA:?})"
+                ));
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("campaign file needs a string \"name\"")?
+            .to_string();
+        let defaults = parse_defaults(doc.get("defaults"), &CellDefaults::default())?;
+        let sweeps_json = doc
+            .get("sweeps")
+            .and_then(|v| v.as_array())
+            .ok_or("campaign file needs a \"sweeps\" array")?;
+        if sweeps_json.is_empty() {
+            return Err("campaign file has no sweeps".into());
+        }
+        let mut sweeps = Vec::new();
+        for (i, s) in sweeps_json.iter().enumerate() {
+            sweeps.push(parse_sweep(s, &defaults, i)?);
+        }
+        Ok(CampaignSpec {
+            name,
+            defaults,
+            sweeps,
+        })
+    }
+
+    /// Expand every sweep into its cell grid and deduplicate by config
+    /// hash (first occurrence wins the position; group memberships merge).
+    pub fn expand(&self) -> Result<RunPlan, String> {
+        let mut order: Vec<String> = Vec::new();
+        let mut by_hash: std::collections::HashMap<String, PlannedCell> =
+            std::collections::HashMap::new();
+        for sweep in &self.sweeps {
+            for topo in &sweep.topos {
+                for scheme in &sweep.schemes {
+                    for pattern in &sweep.patterns {
+                        for &load in &sweep.loads {
+                            if load.is_nan() || load <= 0.0 {
+                                return Err(format!(
+                                    "sweep {:?}: load {load} must be positive",
+                                    sweep.group
+                                ));
+                            }
+                            for &seed in &sweep.seeds {
+                                for &scheduler in &sweep.schedulers {
+                                    for fault in &sweep.faults {
+                                        let spec = CellSpec {
+                                            topo: *topo,
+                                            scheme: *scheme,
+                                            pattern: *pattern,
+                                            load,
+                                            seed,
+                                            warmup_cycles: sweep.defaults.warmup_cycles,
+                                            measure_cycles: sweep.defaults.measure_cycles,
+                                            payload_flits: sweep.defaults.payload_flits,
+                                            scheduler,
+                                            goodput_interval: sweep.defaults.goodput_interval,
+                                            reconfig_latency_cycles: sweep
+                                                .defaults
+                                                .reconfig_latency_cycles,
+                                            faults: fault.clone(),
+                                        };
+                                        let hash = spec.hash_hex();
+                                        match by_hash.entry(hash.clone()) {
+                                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                                let cell = e.get_mut();
+                                                if !cell.groups.contains(&sweep.group) {
+                                                    cell.groups.push(sweep.group.clone());
+                                                }
+                                            }
+                                            std::collections::hash_map::Entry::Vacant(e) => {
+                                                let key = spec.canonical_key();
+                                                e.insert(PlannedCell {
+                                                    spec,
+                                                    hash: hash.clone(),
+                                                    key,
+                                                    groups: vec![sweep.group.clone()],
+                                                });
+                                                order.push(hash);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let cells = order
+            .into_iter()
+            .map(|h| by_hash.remove(&h).expect("ordered hash is in the map"))
+            .collect();
+        Ok(RunPlan {
+            name: self.name.clone(),
+            cells,
+        })
+    }
+}
+
+fn get_u64(obj: &JsonValue, key: &str, what: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("{what}: {key:?} must be a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("{what}: {key:?} must be a non-negative integer"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+fn parse_defaults(v: Option<&JsonValue>, base: &CellDefaults) -> Result<CellDefaults, String> {
+    let mut d = base.clone();
+    let Some(v) = v else { return Ok(d) };
+    let what = "defaults";
+    if let Some(w) = get_u64(v, "warmup_cycles", what)? {
+        d.warmup_cycles = w;
+    }
+    if let Some(m) = get_u64(v, "measure_cycles", what)? {
+        d.measure_cycles = m;
+    }
+    if let Some(s) = get_u64(v, "seed", what)? {
+        d.seed = s;
+    }
+    if let Some(p) = get_u64(v, "payload_flits", what)? {
+        d.payload_flits = p as usize;
+    }
+    if let Some(g) = get_u64(v, "goodput_interval", what)? {
+        d.goodput_interval = Some(g);
+    }
+    if let Some(r) = get_u64(v, "reconfig_latency_cycles", what)? {
+        d.reconfig_latency_cycles = Some(r);
+    }
+    if let Some(s) = v.get("scheduler") {
+        let s = s
+            .as_str()
+            .ok_or("defaults: \"scheduler\" must be a string")?;
+        d.scheduler =
+            Scheduler::parse(s).ok_or_else(|| format!("defaults: unknown scheduler {s:?}"))?;
+    }
+    Ok(d)
+}
+
+fn string_list<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<Vec<&'a str>, String> {
+    let arr = v
+        .get(key)
+        .and_then(|a| a.as_array())
+        .ok_or_else(|| format!("{what}: needs a {key:?} array"))?;
+    arr.iter()
+        .map(|s| {
+            s.as_str()
+                .ok_or_else(|| format!("{what}: {key:?} entries must be strings"))
+        })
+        .collect()
+}
+
+fn parse_sweep(v: &JsonValue, campaign: &CellDefaults, index: usize) -> Result<Sweep, String> {
+    let group = v
+        .get("group")
+        .and_then(|g| g.as_str())
+        .map(String::from)
+        .unwrap_or_else(|| format!("sweep{index}"));
+    let what = format!("sweep {group:?}");
+    let defaults = parse_defaults(Some(v), campaign).map_err(|e| format!("{what}: {e}"))?;
+
+    let topos = string_list(v, "topos", &what)?
+        .into_iter()
+        .map(TopoSpec::parse)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{what}: {e}"))?;
+    let schemes = string_list(v, "schemes", &what)?
+        .into_iter()
+        .map(parse_scheme)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{what}: {e}"))?;
+    let patterns = string_list(v, "patterns", &what)?
+        .into_iter()
+        .map(parse_pattern)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{what}: {e}"))?;
+    let loads = v
+        .get("loads")
+        .and_then(|a| a.as_array())
+        .ok_or_else(|| format!("{what}: needs a \"loads\" array"))?
+        .iter()
+        .map(|l| {
+            l.as_f64()
+                .ok_or_else(|| format!("{what}: loads must be numbers"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let seeds = match v.get("seeds") {
+        None => vec![defaults.seed],
+        Some(arr) => arr
+            .as_array()
+            .ok_or_else(|| format!("{what}: \"seeds\" must be an array"))?
+            .iter()
+            .map(|s| {
+                s.as_f64()
+                    .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("{what}: seeds must be non-negative integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let schedulers = match v.get("schedulers") {
+        None => vec![defaults.scheduler],
+        Some(_) => string_list(v, "schedulers", &what)?
+            .into_iter()
+            .map(|s| Scheduler::parse(s).ok_or_else(|| format!("{what}: unknown scheduler {s:?}")))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let faults = match v.get("faults") {
+        None => vec![None],
+        Some(arr) => {
+            let arr = arr
+                .as_array()
+                .ok_or_else(|| format!("{what}: \"faults\" must be an array"))?;
+            let mut out = Vec::new();
+            for f in arr {
+                out.push(parse_fault(f, &what)?);
+            }
+            if out.is_empty() {
+                vec![None]
+            } else {
+                out
+            }
+        }
+    };
+    for axis in [
+        ("topos", topos.is_empty()),
+        ("schemes", schemes.is_empty()),
+        ("patterns", patterns.is_empty()),
+        ("loads", loads.is_empty()),
+        ("seeds", seeds.is_empty()),
+        ("schedulers", schedulers.is_empty()),
+    ] {
+        if axis.1 {
+            return Err(format!("{what}: axis {:?} is empty", axis.0));
+        }
+    }
+    Ok(Sweep {
+        group,
+        topos,
+        schemes,
+        patterns,
+        loads,
+        seeds,
+        schedulers,
+        faults,
+        defaults,
+    })
+}
+
+fn parse_fault(v: &JsonValue, what: &str) -> Result<Option<FaultSpec>, String> {
+    if let Some(s) = v.as_str() {
+        // String form: "none" or the canonical "+"-joined event list.
+        if s == "none" {
+            return Ok(None);
+        }
+        return FaultSpec::parse(s, s).map(Some);
+    }
+    let label = v
+        .get("label")
+        .and_then(|l| l.as_str())
+        .unwrap_or("fault")
+        .to_string();
+    let events_json = v
+        .get("events")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("{what}: fault objects need an \"events\" array"))?;
+    let mut events = Vec::new();
+    for e in events_json {
+        let cycle = get_u64(e, "cycle", what)?
+            .ok_or_else(|| format!("{what}: fault events need a \"cycle\""))?;
+        let mut found = None;
+        for kind in [
+            FaultKind::FailLink,
+            FaultKind::RepairLink,
+            FaultKind::FailSwitch,
+            FaultKind::RepairSwitch,
+            FaultKind::FailHost,
+            FaultKind::RepairHost,
+        ] {
+            if let Some(id) = get_u64(e, kind.name(), what)? {
+                found = Some(FaultSpecEvent {
+                    cycle,
+                    kind,
+                    id: id as u32,
+                });
+                break;
+            }
+        }
+        events.push(found.ok_or_else(|| {
+            format!("{what}: fault event needs one of fail_link/repair_link/fail_switch/repair_switch/fail_host/repair_host")
+        })?);
+    }
+    if events.is_empty() {
+        return Err(format!("{what}: fault {label:?} has no events"));
+    }
+    Ok(Some(FaultSpec::new(label, events)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> CellSpec {
+        CellSpec {
+            topo: TopoSpec::Torus,
+            scheme: RoutingScheme::ItbRr,
+            pattern: PatternSpec::Uniform,
+            load: 0.015,
+            seed: 8,
+            warmup_cycles: 60_000,
+            measure_cycles: 150_000,
+            payload_flits: 512,
+            scheduler: Scheduler::ActiveSet,
+            goodput_interval: None,
+            reconfig_latency_cycles: None,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn topo_parse_roundtrip() {
+        for s in ["torus", "express", "cplant", "torus:4x4:2", "express:6x6:3"] {
+            let t = TopoSpec::parse(s).unwrap();
+            assert_eq!(t.key(), s);
+        }
+        assert!(TopoSpec::parse("mesh").is_err());
+        assert!(TopoSpec::parse("torus:4y4:2").is_err());
+        assert!(TopoSpec::parse("torus:4x4").is_err());
+    }
+
+    #[test]
+    fn scheme_and_pattern_parse() {
+        assert_eq!(parse_scheme("UP/DOWN").unwrap(), RoutingScheme::UpDown);
+        assert_eq!(parse_scheme("itb-rr").unwrap(), RoutingScheme::ItbRr);
+        assert_eq!(parse_scheme("ITB_SP").unwrap(), RoutingScheme::ItbSp);
+        assert!(parse_scheme("dimension-order").is_err());
+        assert_eq!(parse_pattern("uniform").unwrap(), PatternSpec::Uniform);
+        assert_eq!(
+            parse_pattern("local:3").unwrap(),
+            PatternSpec::Local { max_switch_dist: 3 }
+        );
+        let h = parse_pattern("hotspot:0.1@37").unwrap();
+        assert_eq!(
+            h,
+            PatternSpec::Hotspot {
+                fraction: 0.1,
+                host: HostId(37)
+            }
+        );
+        assert_eq!(pattern_key(&h), "hotspot:0.1@37");
+        assert!(parse_pattern("hotspot:2.0@1").is_err());
+        assert!(parse_pattern("nearest").is_err());
+    }
+
+    #[test]
+    fn fault_spec_canonical_order_and_roundtrip() {
+        let a = FaultSpec::new(
+            "x",
+            vec![
+                FaultSpecEvent {
+                    cycle: 100,
+                    kind: FaultKind::RepairLink,
+                    id: 3,
+                },
+                FaultSpecEvent {
+                    cycle: 0,
+                    kind: FaultKind::FailLink,
+                    id: 3,
+                },
+            ],
+        );
+        assert_eq!(a.key(), "fail_link:3@0+repair_link:3@100");
+        let b = FaultSpec::parse("y", &a.key()).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(b.to_plan().len(), 2);
+        assert!(FaultSpec::parse("z", "melt_link:3@0").is_err());
+    }
+
+    #[test]
+    fn hash_ignores_fault_label_but_not_events() {
+        let mut a = cell();
+        let mut b = cell();
+        a.faults = Some(FaultSpec::parse("first", "fail_link:3@0").unwrap());
+        b.faults = Some(FaultSpec::parse("second", "fail_link:3@0").unwrap());
+        assert_eq!(a.config_hash(), b.config_hash());
+        b.faults = Some(FaultSpec::parse("second", "fail_link:4@0").unwrap());
+        assert_ne!(a.config_hash(), b.config_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_every_field() {
+        let base = cell();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.config_hash());
+        let variants = [
+            CellSpec {
+                topo: TopoSpec::Express,
+                ..base.clone()
+            },
+            CellSpec {
+                scheme: RoutingScheme::UpDown,
+                ..base.clone()
+            },
+            CellSpec {
+                pattern: PatternSpec::BitReversal,
+                ..base.clone()
+            },
+            CellSpec {
+                load: 0.0151,
+                ..base.clone()
+            },
+            CellSpec {
+                seed: 9,
+                ..base.clone()
+            },
+            CellSpec {
+                warmup_cycles: 60_001,
+                ..base.clone()
+            },
+            CellSpec {
+                measure_cycles: 150_001,
+                ..base.clone()
+            },
+            CellSpec {
+                payload_flits: 32,
+                ..base.clone()
+            },
+            CellSpec {
+                scheduler: Scheduler::EventDriven,
+                ..base.clone()
+            },
+            CellSpec {
+                goodput_interval: Some(1000),
+                ..base.clone()
+            },
+            CellSpec {
+                reconfig_latency_cycles: Some(2000),
+                ..base.clone()
+            },
+        ];
+        for v in variants {
+            assert!(
+                seen.insert(v.config_hash()),
+                "hash collision for {}",
+                v.canonical_key()
+            );
+        }
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a 64 of the empty string and of "a" (published constants).
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn expand_dedups_across_sweeps() {
+        let spec = CampaignSpec::from_json_str(
+            r#"{
+                "schema": "regnet-campaign-v1",
+                "name": "t",
+                "defaults": {"warmup_cycles": 100, "measure_cycles": 200, "seed": 3},
+                "sweeps": [
+                    {"group": "a", "topos": ["torus:4x4:2"], "schemes": ["ITB-RR", "UP/DOWN"],
+                     "patterns": ["uniform"], "loads": [0.01, 0.02]},
+                    {"group": "b", "topos": ["torus:4x4:2"], "schemes": ["ITB-RR"],
+                     "patterns": ["uniform"], "loads": [0.02, 0.03]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let plan = spec.expand().unwrap();
+        // a: 2 schemes × 2 loads = 4; b adds ITB-RR@0.03 only (0.02 dedups).
+        assert_eq!(plan.len(), 5);
+        let shared = plan
+            .cells
+            .iter()
+            .find(|c| c.spec.load == 0.02 && c.spec.scheme == RoutingScheme::ItbRr)
+            .unwrap();
+        assert_eq!(shared.groups, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_files() {
+        assert!(CampaignSpec::from_json_str("{").is_err());
+        assert!(CampaignSpec::from_json_str(r#"{"name": "x"}"#).is_err());
+        assert!(CampaignSpec::from_json_str(r#"{"name": "x", "sweeps": []}"#).is_err());
+        let bad_scheme = r#"{"name": "x", "sweeps": [
+            {"topos": ["torus"], "schemes": ["XY"], "patterns": ["uniform"], "loads": [0.01]}
+        ]}"#;
+        assert!(CampaignSpec::from_json_str(bad_scheme).is_err());
+        let bad_schema = r#"{"schema": "regnet-campaign-v9", "name": "x", "sweeps": [
+            {"topos": ["torus"], "schemes": ["ITB-RR"], "patterns": ["uniform"], "loads": [0.01]}
+        ]}"#;
+        assert!(CampaignSpec::from_json_str(bad_schema).is_err());
+        let zero_load = r#"{"name": "x", "sweeps": [
+            {"topos": ["torus"], "schemes": ["ITB-RR"], "patterns": ["uniform"], "loads": [0.0]}
+        ]}"#;
+        assert!(CampaignSpec::from_json_str(zero_load)
+            .unwrap()
+            .expand()
+            .is_err());
+    }
+
+    #[test]
+    fn sweep_overrides_campaign_defaults() {
+        let spec = CampaignSpec::from_json_str(
+            r#"{
+                "name": "t",
+                "defaults": {"warmup_cycles": 100, "measure_cycles": 200, "payload_flits": 64},
+                "sweeps": [
+                    {"group": "a", "topos": ["torus"], "schemes": ["ITB-RR"],
+                     "patterns": ["uniform"], "loads": [0.01],
+                     "measure_cycles": 999, "scheduler": "event"}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let plan = spec.expand().unwrap();
+        assert_eq!(plan.cells[0].spec.warmup_cycles, 100);
+        assert_eq!(plan.cells[0].spec.measure_cycles, 999);
+        assert_eq!(plan.cells[0].spec.payload_flits, 64);
+        assert_eq!(plan.cells[0].spec.scheduler, Scheduler::EventDriven);
+    }
+}

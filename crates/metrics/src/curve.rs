@@ -42,6 +42,24 @@ impl Curve {
         self.points.push(p);
     }
 
+    /// Build a curve from points collected in arbitrary order (e.g. as
+    /// campaign cells land from a worker pool), sorted by offered load so
+    /// the result is independent of completion order.
+    pub fn from_points(label: impl Into<String>, points: Vec<CurvePoint>) -> Curve {
+        let mut c = Curve {
+            label: label.into(),
+            points,
+        };
+        c.sort_by_offered();
+        c
+    }
+
+    /// Sort the points by offered load (stable, total order — NaNs sort
+    /// last, though no simulator path produces them).
+    pub fn sort_by_offered(&mut self) {
+        self.points.sort_by(|a, b| a.offered.total_cmp(&b.offered));
+    }
+
     /// Network throughput as the paper reports it: the highest accepted
     /// traffic observed across the sweep (accepted traffic plateaus at the
     /// saturation point).
@@ -187,6 +205,19 @@ mod tests {
         assert!(t.contains("ITB-RR torus uniform"));
         assert!(t.lines().count() >= 7);
         assert!(t.contains("0.00500"));
+    }
+
+    #[test]
+    fn from_points_sorts_by_offered() {
+        let pts = vec![
+            point(0.030, 0.0290, 12000.0),
+            point(0.005, 0.005, 4000.0),
+            point(0.020, 0.0199, 6000.0),
+        ];
+        let c = Curve::from_points("shuffled", pts);
+        let loads: Vec<f64> = c.points.iter().map(|p| p.offered).collect();
+        assert_eq!(loads, vec![0.005, 0.020, 0.030]);
+        assert_eq!(c.zero_load_latency_ns(), Some(4000.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@ mod util;
 
 pub use chrome::{Arg as ChromeArg, ChromeTrace};
 pub use curve::{Curve, CurvePoint, NamedSeries, TimeSeries};
+pub use export::{curve_to_dat, write_figure, write_time_series};
 pub use json::JsonValue;
 pub use stats::{Histogram, RunningStats};
 pub use util::UtilizationSummary;

@@ -200,6 +200,22 @@ impl Experiment {
         &self.cfg
     }
 
+    /// Static descriptors of every directed channel, in
+    /// [`RunStats::channel_busy`] order. Builds a throwaway simulator (no
+    /// cycles are run), so callers that only have `run_*` results can
+    /// still map `channel_busy` entries to links.
+    pub fn channel_descriptors(&self) -> Vec<ChannelDesc> {
+        Simulator::new(
+            &self.topo,
+            &self.db,
+            &self.pattern,
+            self.cfg.clone(),
+            0.001,
+            1,
+        )
+        .channel_descriptors()
+    }
+
     /// Run the raw simulation at one offered load and return the full
     /// [`RunStats`] (latency, ITB counters, per-channel utilization).
     pub fn run_stats(&self, offered: f64, opts: &RunOptions) -> RunStats {

@@ -74,10 +74,11 @@ pub mod wfg;
 pub use config::{GenerationProcess, SimConfig, CYCLE_NS};
 pub use counters::CounterSnapshot;
 pub use events::{BlockCause, Event, EventJournal, EventKind, EventMask, EventOptions, NO_PACKET};
+pub use experiment::{par_map, Experiment, RunObservation, RunOptions, ThroughputSearch};
 pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
 pub use partition::ShardPlan;
 pub use profiler::{PhaseProfile, ProfileReport, PHASE_NAMES};
 pub use sched::Scheduler;
 pub use sim::{ChannelDesc, RunStats, Simulator};
-pub use trace::{TraceOptions, TraceReport};
+pub use trace::{ChannelUtilSeries, GoodputSeries, OccupancySeries, TraceOptions, TraceReport};
 pub use wfg::{StallClass, StallReport};

@@ -305,6 +305,72 @@ fn faulted_torus_itb_rr_is_deterministic() {
     assert_faulted_deterministic(torus, RoutingScheme::ItbRr);
 }
 
+// ---- The campaign work queue must not be a new source of nondeterminism. ----
+
+/// A campaign fanned across 4 workers produces exactly the per-cell
+/// results (RunStats-derived fields *and* trace digests) of the same
+/// campaign run single-threaded: the work queue only changes completion
+/// order, never results. The `campaign` binary maps `REGNET_THREADS` to
+/// this worker count (via `threads_from`, covered below), so this is the
+/// in-process equivalent of running the binary under `REGNET_THREADS=1`
+/// vs `=4`.
+#[test]
+fn campaign_cells_are_thread_count_invariant() {
+    use regnet_campaign::{run_plan, CampaignSpec, ResultStore, RunnerOptions};
+
+    let spec = CampaignSpec::from_json_str(
+        r#"{
+            "name": "determinism",
+            "defaults": {"warmup_cycles": 2000, "measure_cycles": 10000,
+                         "payload_flits": 64, "seed": 42},
+            "sweeps": [
+                {"group": "d", "topos": ["torus:4x4:2", "express:4x4:2"],
+                 "schemes": ["UP/DOWN", "ITB-RR"], "patterns": ["uniform"],
+                 "loads": [0.004, 0.01]}
+            ]
+        }"#,
+    )
+    .unwrap();
+    let plan = spec.expand().unwrap();
+    let run_with = |threads: usize, tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("regnet-det-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let opts = RunnerOptions {
+            threads,
+            ..Default::default()
+        };
+        run_plan(&plan, &store, &opts, |_| {}).unwrap();
+        let all = store.load_all().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        all
+    };
+    let serial = run_with(1, "t1");
+    let pooled = run_with(4, "t4");
+    assert_eq!(serial.len(), plan.len());
+    assert_eq!(serial.len(), pooled.len());
+    for (hash, a) in &serial {
+        let b = &pooled[hash];
+        assert!(
+            a.same_results(b),
+            "cell {hash} diverged across worker counts"
+        );
+        assert!(
+            a.digest.is_some() && a.digest == b.digest,
+            "cell {hash} digest diverged across worker counts"
+        );
+    }
+}
+
+/// `REGNET_THREADS` maps to the worker count the campaign runner gets.
+#[test]
+fn regnet_threads_override_parses() {
+    use regnet_netsim::threads::threads_from;
+    assert_eq!(threads_from(Some("1")), 1);
+    assert_eq!(threads_from(Some("4")), 4);
+}
+
 /// An MTBF-drawn plan is deterministic end to end as well: plan generation
 /// and plan execution both reproduce.
 #[test]
