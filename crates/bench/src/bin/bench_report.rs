@@ -45,7 +45,7 @@ use regnet_bench::report::{
     check_against, peak_rss_kb, BenchCell, BenchReport, BENCH_SCHEMA, DEFAULT_THRESHOLD,
 };
 use regnet_bench::{parse_flag_value, Topo};
-use regnet_campaign::Progress;
+use regnet_campaign::{Progress, StatusBoard};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
 use regnet_netsim::{EventOptions, Scheduler, SimConfig, Simulator};
 use regnet_topology::Topology;
@@ -235,8 +235,14 @@ fn main() -> ExitCode {
     let n_cells = n_matrix + cmp_jobs.len();
     let mut best: Vec<Option<(u64, u64, Vec<regnet_netsim::PhaseProfile>)>> = vec![None; n_cells];
     let mut calibration = f64::NEG_INFINITY;
-    let mut rounds_progress = Progress::start("bench", p.rounds.max(1) as usize);
-    for _round in 0..p.rounds.max(1) {
+    let rounds = p.rounds.max(1) as usize;
+    let mut rounds_progress = Progress::start("bench", rounds);
+    // Live status beside the report: one item per timing round.
+    let status_path = std::path::Path::new(&out_path).with_extension("status.json");
+    let mut board = StatusBoard::new(&status_path, "bench_report", rounds, 1);
+    for round in 0..rounds {
+        let item = format!("round {}/{rounds}", round + 1);
+        board.started(0, &item);
         calibration = calibration.max(calibration_window());
         for (i, setup) in setups.iter().enumerate() {
             for (j, traced) in [false, true].into_iter().enumerate() {
@@ -255,9 +261,11 @@ fn main() -> ExitCode {
                 *slot = Some((wall_ns, events, phases));
             }
         }
+        board.done(0, &item);
         rounds_progress.step("round complete");
     }
     rounds_progress.finish("");
+    board.finish("done");
 
     let mut cells = Vec::with_capacity(n_cells);
     for (i, s) in setups.iter().enumerate() {

@@ -6,7 +6,13 @@
 //!                      [--fresh] [--dry-run] [--quiet]
 //! campaign --smoke     [same options; built-in tiny campaign]
 //! campaign <file.json> --what-if "topo=torus,scheme=ITB-RR,pattern=uniform[,start=0.004,...]"
+//! campaign --watch <out>/status.json          live terminal dashboard
+//! campaign --check-status <out>/status.json   validate and exit
 //! ```
+//!
+//! While running, the campaign republishes `<out>/status.json` after
+//! every worker event (atomic tmp+rename): totals, per-worker state, ETA
+//! and the last errors. Point `--watch` at it from another terminal.
 //!
 //! Every finished cell is checkpointed under `<out>/cells/<hash>.json`;
 //! re-running the same campaign file skips everything already landed, so
@@ -19,8 +25,9 @@ use std::process::ExitCode;
 
 use regnet_bench::parse_flag_value;
 use regnet_campaign::{
-    export_campaign, parse_pattern, parse_scheme, run_plan, what_if, CampaignSpec, CellDefaults,
-    CellSpec, FaultSpec, Progress, ResultStore, RunPlan, RunnerOptions, TopoSpec, WhatIfQuery,
+    export_campaign, parse_pattern, parse_scheme, render_status, run_plan, validate_status_json,
+    what_if, CampaignSpec, CellDefaults, CellSpec, FaultSpec, Progress, ResultStore, RunPlan,
+    RunnerEvent, RunnerOptions, StatusBoard, TopoSpec, WhatIfQuery,
 };
 
 /// The built-in `--smoke` campaign: 2 topologies × 2 schemes × 2 loads on
@@ -65,6 +72,10 @@ fn usage() -> &'static str {
        --dry-run        print the expanded cell plan and exit\n\
        --quiet          suppress per-cell progress lines\n\
        --smoke          run the built-in tiny CI campaign (no file needed)\n\
+       --watch PATH     render a running campaign's status.json as a live\n\
+                        dashboard (exits when the campaign does)\n\
+       --check-status PATH  validate a status.json and exit non-zero if\n\
+                        it is missing, torn or inconsistent\n\
        --what-if SPEC   bisect for the saturation load of one scenario:\n\
                         SPEC is comma-separated key=value with keys\n\
                         topo, scheme, pattern (required) and seed, warmup,\n\
@@ -87,6 +98,12 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    if let Some(path) = parse_flag_value(args, "--check-status") {
+        return check_status(&path);
+    }
+    if let Some(path) = parse_flag_value(args, "--watch") {
+        return watch_status(&path);
+    }
     let quiet = args.iter().any(|a| a == "--quiet");
     let smoke = args.iter().any(|a| a == "--smoke");
 
@@ -187,19 +204,40 @@ fn run_campaign(
         stop_after,
     };
     let out_dir = store.root().to_path_buf();
+    let mut board = StatusBoard::new(
+        out_dir.join("status.json"),
+        "campaign",
+        pending,
+        threads.clamp(1, pending.max(1)),
+    );
     let mut export_err: Option<String> = None;
-    let outcome = run_plan(plan, store, &opts, |done| {
-        results.insert(done.result.hash.clone(), done.result.clone());
-        progress.step(&format!(
-            "{} accepted {:.5} avg {:.0}ns",
-            done.cell.hash, done.result.accepted, done.result.avg_latency_ns
-        ));
-        if export_err.is_none() {
-            if let Err(e) = export_campaign(plan, &results, &out_dir) {
-                export_err = Some(e);
+    let outcome = run_plan(plan, store, &opts, |ev| match ev {
+        RunnerEvent::Started { worker, cell } => board.started(worker, &cell.key),
+        RunnerEvent::Done(done) => {
+            board.done(done.worker, &done.cell.key);
+            results.insert(done.result.hash.clone(), done.result.clone());
+            progress.step(&format!(
+                "{} accepted {:.5} avg {:.0}ns",
+                done.cell.hash, done.result.accepted, done.result.avg_latency_ns
+            ));
+            if export_err.is_none() {
+                if let Err(e) = export_campaign(plan, &results, &out_dir) {
+                    export_err = Some(e);
+                }
             }
         }
-    })?;
+        RunnerEvent::Failed {
+            worker,
+            cell,
+            error,
+        } => board.failed(worker, &cell.key, error),
+    });
+    match &outcome {
+        Err(_) => board.finish("failed"),
+        Ok(o) if o.complete() => board.finish("done"),
+        Ok(_) => board.finish("stopped"),
+    }
+    let outcome = outcome?;
     if let Some(e) = export_err {
         return Err(e);
     }
@@ -224,6 +262,45 @@ fn run_campaign(
         ));
     }
     Ok(())
+}
+
+/// `--check-status`: parse + validate a status file (the CI gate).
+fn check_status(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap = validate_status_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid ({} {}, {}/{} done, {} failed, {} pending)",
+        snap.tool, snap.state, snap.done, snap.total, snap.failed, snap.pending
+    );
+    Ok(())
+}
+
+/// `--watch`: poll a status file and redraw it as a dashboard until the
+/// run it describes leaves the `"running"` state.
+fn watch_status(path: &str) -> Result<(), String> {
+    let mut waiting_printed = false;
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                // A torn read is impossible (writers rename); a parse
+                // error here is a real protocol violation.
+                let snap = validate_status_json(&text).map_err(|e| format!("{path}: {e}"))?;
+                // Clear screen + home, then one full redraw.
+                print!("\x1b[2J\x1b[H{}", render_status(&snap));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                if snap.state != "running" {
+                    return Ok(());
+                }
+            }
+            Err(_) if !waiting_printed => {
+                eprintln!("waiting for {path} ...");
+                waiting_printed = true;
+            }
+            Err(_) => {}
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
 }
 
 /// `--what-if`: bisect for the saturation load of a single scenario,
@@ -349,7 +426,14 @@ fn parse_float(key: &str, v: &str) -> Result<f64, String> {
 
 /// Is `arg` the value slot of a `--flag VALUE` pair (not a free operand)?
 fn is_flag_value(args: &[String], arg: &String) -> bool {
-    const VALUE_FLAGS: [&str; 4] = ["--out", "--threads", "--stop-after", "--what-if"];
+    const VALUE_FLAGS: [&str; 6] = [
+        "--out",
+        "--threads",
+        "--stop-after",
+        "--what-if",
+        "--watch",
+        "--check-status",
+    ];
     args.iter()
         .position(|a| std::ptr::eq(a, arg))
         .and_then(|i| i.checked_sub(1))

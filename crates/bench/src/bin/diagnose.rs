@@ -3,10 +3,13 @@
 //! the wait-for-graph analyzer (deadlock cycle vs starvation vs active).
 //! `--fail-link <id>@<cycle>` (repeatable) injects link failures to inspect
 //! the post-fault state; `--events <path>` dumps the event journal as
-//! Chrome trace JSON (Perfetto-loadable) for timeline inspection.
+//! Chrome trace JSON (Perfetto-loadable) for timeline inspection;
+//! `--metrics <path>` dumps the run as Prometheus text exposition (the
+//! whole 200k-cycle run becomes the measurement window).
 
 use regnet_bench::{parse_fail_links, parse_flag_value, save_chrome_trace};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_netsim::experiment::RunObservation;
 use regnet_netsim::{EventOptions, FaultOptions, SimConfig, Simulator};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
@@ -14,6 +17,7 @@ use regnet_traffic::{Pattern, PatternSpec};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let events_path = parse_flag_value(&args, "--events");
+    let metrics_path = parse_flag_value(&args, "--metrics");
     let topo = gen::torus_2d(8, 8, 8).unwrap();
     let db = RouteDb::build(&topo, RoutingScheme::ItbSp, &RouteDbConfig::default());
     let pattern = Pattern::resolve(PatternSpec::Uniform, &topo).unwrap();
@@ -28,6 +32,11 @@ fn main() {
     } else {
         false
     };
+    if metrics_path.is_some() {
+        // Counters are freshly zeroed, so starting the window up front
+        // leaves the diagnostic output unchanged.
+        sim.begin_measurement();
+    }
     sim.run(200_000);
     println!("{}", sim.dump_state());
     if faulted {
@@ -39,5 +48,19 @@ fn main() {
     }
     if let (Some(path), Some(journal)) = (&events_path, sim.journal()) {
         save_chrome_trace(path, journal);
+    }
+    if let Some(path) = &metrics_path {
+        let obs = RunObservation {
+            stats: sim.end_measurement(200_000),
+            reliability: sim.reliability(),
+            trace: sim.trace_report(),
+            profile: sim.profile_report(),
+            spans: sim.span_report(),
+            journal: None,
+        };
+        match std::fs::write(path, obs.metrics_registry().to_prometheus()) {
+            Ok(()) => println!("metrics exposition -> {path}"),
+            Err(e) => eprintln!("diagnose: cannot write {path}: {e}"),
+        }
     }
 }

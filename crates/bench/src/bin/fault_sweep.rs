@@ -17,7 +17,7 @@
 //! output file names carry the topology.
 
 use regnet_bench::{save_curves, save_time_series, threads, Topo};
-use regnet_campaign::Progress;
+use regnet_campaign::{Progress, StatusBoard};
 use regnet_core::{RouteDbConfig, RoutingScheme};
 use regnet_metrics::{Curve, CurvePoint, TimeSeries};
 use regnet_netsim::experiment::{par_map, Experiment, RunOptions};
@@ -120,7 +120,7 @@ fn experiment(p: &Params, scheme: RoutingScheme) -> Experiment {
 
 /// Accepted traffic vs number of failed links. Links fail at cycle 0, so
 /// the measurement window sees the reconfigured steady state.
-fn throughput_vs_failed_links(p: &Params) {
+fn throughput_vs_failed_links(p: &Params, board: &mut StatusBoard) {
     let mut curves = Vec::new();
     let schemes = [
         RoutingScheme::UpDown,
@@ -129,6 +129,8 @@ fn throughput_vs_failed_links(p: &Params) {
     ];
     let mut progress = Progress::start("fault-sweep", schemes.len());
     for scheme in schemes {
+        let item = format!("throughput/{}", scheme.label());
+        board.started(0, &item);
         let exp = experiment(p, scheme);
         let results = par_map(p.ks.len(), threads(), |i| {
             let k = p.ks[i];
@@ -171,6 +173,7 @@ fn throughput_vs_failed_links(p: &Params) {
             });
         }
         curves.push(curve);
+        board.done(0, &item);
         progress.step(&format!(
             "{} across {} failure counts",
             scheme.label(),
@@ -185,7 +188,7 @@ fn throughput_vs_failed_links(p: &Params) {
 }
 
 /// Goodput over time through one fail/repair cycle on a single link.
-fn goodput_dip(p: &Params) {
+fn goodput_dip(p: &Params, board: &mut StatusBoard) {
     let total = p.warmup + p.measure;
     let fail_at = p.warmup + p.measure / 4;
     let repair_at = p.warmup + (3 * p.measure) / 4;
@@ -200,6 +203,8 @@ fn goodput_dip(p: &Params) {
     ];
     let mut progress = Progress::start("goodput-dip", schemes.len());
     for scheme in schemes {
+        let item = format!("goodput/{}", scheme.label());
+        board.started(0, &item);
         let exp = experiment(p, scheme);
         let link = spaced_switch_links(exp.topology(), 1)[0];
         let mut plan = FaultPlan::single_link(link, fail_at);
@@ -235,6 +240,7 @@ fn goodput_dip(p: &Params) {
             rel.dropped_packets,
         );
         ts.push(scheme.label(), per_ns);
+        board.done(0, &item);
         progress.step(scheme.label());
     }
     progress.finish("");
@@ -250,6 +256,12 @@ fn main() {
             p.offered, p.warmup, p.measure, p.ks
         ),
     );
-    throughput_vs_failed_links(&p);
-    goodput_dip(&p);
+    // Live status file beside the curve outputs (3 schemes × 2 figures).
+    let _ = std::fs::create_dir_all("target/experiments");
+    let status_path = format!("target/experiments/fault_sweep_status_{}.json", p.topo_name);
+    let mut board = StatusBoard::new(&status_path, "fault_sweep", 6, 1);
+    throughput_vs_failed_links(&p, &mut board);
+    goodput_dip(&p, &mut board);
+    board.finish("done");
+    Progress::announce("fault-sweep", &format!("status under {status_path}"));
 }

@@ -4,13 +4,27 @@
 //! trace observers and the unified counters on, finishes each point with a
 //! wait-for-graph stall classification, and — with `--events <path>` —
 //! dumps each scheme's event journal as Chrome trace JSON
-//! (`<stem>.<scheme>.json`, Perfetto-loadable).
+//! (`<stem>.<scheme>.json`, Perfetto-loadable). `--metrics <path>` dumps
+//! each scheme's run as Prometheus text exposition, `--flame <path>` runs
+//! with the self-profiler on and writes collapsed stacks
+//! (`flamegraph.pl`/inferno-compatible), both with the same per-scheme
+//! file suffixing as `--events`.
 
 use regnet_bench::{parse_fail_links, parse_flag_value, save_chrome_trace};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
+use regnet_netsim::experiment::RunObservation;
 use regnet_netsim::{EventOptions, FaultOptions, SimConfig, Simulator, TraceOptions};
 use regnet_topology::gen;
 use regnet_traffic::{Pattern, PatternSpec};
+
+/// `path` with the scheme tag spliced in before the extension.
+fn scheme_path(path: &str, scheme: RoutingScheme) -> String {
+    let tag = scheme.label().to_lowercase().replace('/', "-");
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{tag}.{ext}"),
+        None => format!("{path}.{tag}.json"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,6 +32,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.015);
     let events_path = parse_flag_value(&args, "--events");
+    let metrics_path = parse_flag_value(&args, "--metrics");
+    let flame_path = parse_flag_value(&args, "--flame");
     let fault_plan = parse_fail_links(&args);
     let (warmup_cycles, measure_cycles) = (60_000u64, 150_000u64);
     let topo = gen::torus_2d(8, 8, 8).expect("torus");
@@ -38,6 +54,9 @@ fn main() {
         sim.enable_counters();
         if events_path.is_some() {
             sim.enable_events(EventOptions::default());
+        }
+        if flame_path.is_some() {
+            sim.enable_profiler();
         }
         if let Some(plan) = &fault_plan {
             sim.enable_faults(FaultOptions::with_plan(plan.clone()));
@@ -97,12 +116,32 @@ fn main() {
             }
         }
         if let (Some(path), Some(journal)) = (&events_path, sim.journal()) {
-            let tag = scheme.label().to_lowercase().replace('/', "-");
-            let out = match path.rsplit_once('.') {
-                Some((stem, ext)) => format!("{stem}.{tag}.{ext}"),
-                None => format!("{path}.{tag}.json"),
+            save_chrome_trace(&scheme_path(path, scheme), journal);
+        }
+        if let Some(path) = &metrics_path {
+            let obs = RunObservation {
+                stats: stats.clone(),
+                reliability: sim.reliability(),
+                trace: sim.trace_report(),
+                profile: sim.profile_report(),
+                spans: sim.span_report(),
+                journal: None,
             };
-            save_chrome_trace(&out, journal);
+            let out = scheme_path(path, scheme);
+            match std::fs::write(&out, obs.metrics_registry().to_prometheus()) {
+                Ok(()) => println!("         metrics exposition -> {out}"),
+                Err(e) => eprintln!("probe: cannot write {out}: {e}"),
+            }
+        }
+        if let (Some(path), Some(spans)) = (&flame_path, sim.span_report()) {
+            let out = scheme_path(path, scheme);
+            match std::fs::write(&out, spans.to_collapsed()) {
+                Ok(()) => println!("         collapsed stacks -> {out}"),
+                Err(e) => eprintln!("probe: cannot write {out}: {e}"),
+            }
+            for line in spans.to_table().lines() {
+                println!("         {line}");
+            }
         }
     }
 }

@@ -196,17 +196,11 @@ pub fn check_against(
     Ok(lines)
 }
 
-/// Peak resident-set size of this process in KiB, from `VmHWM` in
-/// `/proc/self/status`; `None` off Linux or if the field is absent.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest.trim().trim_end_matches("kB").trim().parse().ok();
-        }
-    }
-    None
-}
+/// Peak resident-set size of this process in KiB. Kept as a re-export so
+/// bench callers don't need a direct `regnet_metrics` import; the probe
+/// itself lives in `regnet_metrics::sys` where the campaign layer shares
+/// it.
+pub use regnet_metrics::peak_rss_kb;
 
 #[cfg(test)]
 mod tests {

@@ -278,6 +278,7 @@ mod tests {
                 samples: vec![640, 640, 320],
             }),
             wall_ms: 1,
+            peak_rss_kb: 0,
         }
     }
 

@@ -55,6 +55,10 @@ pub struct CellResult {
     /// from [`CellResult::same_results`] so resumed and uninterrupted
     /// campaigns compare equal.
     pub wall_ms: u64,
+    /// Peak resident set size of the process when the cell finished, KiB
+    /// (0 where `/proc` is unavailable). Machine-dependent like `wall_ms`
+    /// and excluded from [`CellResult::same_results`] the same way.
+    pub peak_rss_kb: u64,
 }
 
 impl CellResult {
@@ -65,6 +69,8 @@ impl CellResult {
         let mut b = other.clone();
         a.wall_ms = 0;
         b.wall_ms = 0;
+        a.peak_rss_kb = 0;
+        b.peak_rss_kb = 0;
         a == b
     }
 
@@ -161,6 +167,8 @@ impl CellResult {
             reliability,
             goodput,
             wall_ms: u("wall_ms")?,
+            // Absent in pre-v5 checkpoints; default keeps resume working.
+            peak_rss_kb: v.get("peak_rss_kb").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64,
         })
     }
 }
@@ -255,6 +263,7 @@ pub fn run_cell(spec: &CellSpec) -> Result<CellResult, String> {
         reliability: obs.reliability,
         goodput: obs.trace.and_then(|t| t.goodput),
         wall_ms,
+        peak_rss_kb: regnet_metrics::peak_rss_kb().unwrap_or(0),
     })
 }
 

@@ -25,6 +25,9 @@
 //!   probe through the same store instead of running a full grid.
 //! * [`progress`] — the shared stderr progress/ETA printer also used by
 //!   the `fault_sweep` and `bench_report` binaries.
+//! * [`status`] — the live `status.json` protocol: an atomically
+//!   republished snapshot of counts, per-worker state, ETA and recent
+//!   errors, rendered by `campaign --watch` and validated in CI.
 //!
 //! Determinism contract: a cell's results depend only on its spec (the
 //! simulator is bit-deterministic for a given seed on every scheduler),
@@ -37,17 +40,22 @@ pub mod cell;
 pub mod progress;
 pub mod runner;
 pub mod spec;
+pub mod status;
 pub mod store;
 pub mod whatif;
 
 pub use aggregate::{export_campaign, Aggregates};
 pub use cell::{run_cell, CellResult};
 pub use progress::Progress;
-pub use runner::{run_plan, RunOutcome, RunnerOptions};
+pub use runner::{run_plan, CellDone, RunOutcome, RunnerEvent, RunnerOptions};
 pub use spec::{
     fnv1a64, parse_pattern, parse_scheme, pattern_key, scheduler_key, CampaignSpec, CellDefaults,
     CellSpec, FaultKind, FaultSpec, FaultSpecEvent, PlannedCell, RunPlan, Sweep, TopoSpec,
     CAMPAIGN_SCHEMA,
+};
+pub use status::{
+    render_status, validate_status_json, StatusBoard, StatusSnapshot, StatusWriter, WorkerStatus,
+    STATUS_SCHEMA,
 };
 pub use store::ResultStore;
 pub use whatif::{what_if, WhatIfQuery, WhatIfResult};

@@ -38,7 +38,7 @@ impl Progress {
             quiet: false,
         };
         if total > 0 {
-            eprintln!("[{}] 0/{} ...", p.label, p.total);
+            eprintln!("[{}] 0/{} (ETA --:--)", p.label, p.total);
         }
         p
     }
@@ -73,8 +73,12 @@ impl Progress {
             self.total,
             fmt_duration(elapsed)
         );
-        if let Some(eta) = self.eta_secs() {
-            line.push_str(&format!(", ETA {}", fmt_duration(eta)));
+        match self.eta_secs() {
+            Some(eta) => line.push_str(&format!(", ETA {}", fmt_duration(eta))),
+            // No estimate yet (nothing landed) but work remains: show a
+            // placeholder instead of silently dropping the field.
+            None if self.done < self.total => line.push_str(", ETA --:--"),
+            None => {}
         }
         line.push(')');
         if !detail.is_empty() {

@@ -43,10 +43,31 @@ impl Default for RunnerOptions {
 pub struct CellDone<'a> {
     pub cell: &'a PlannedCell,
     pub result: &'a CellResult,
+    /// Worker (0-based) that ran the cell.
+    pub worker: usize,
     /// Cells finished during this invocation so far (1-based).
     pub completed: usize,
     /// Cells this invocation set out to run.
     pub pending: usize,
+}
+
+/// Everything the runner tells its caller, delivered on the calling
+/// thread. `Started`/`Done`/`Failed` interleave in completion order
+/// (which varies run to run); results themselves never depend on it.
+pub enum RunnerEvent<'a> {
+    /// A worker pulled a cell off the queue and began simulating it.
+    Started {
+        worker: usize,
+        cell: &'a PlannedCell,
+    },
+    /// A cell finished and its checkpoint landed in the store.
+    Done(CellDone<'a>),
+    /// A cell failed; the same error is folded into `run_plan`'s `Err`.
+    Failed {
+        worker: usize,
+        cell: &'a PlannedCell,
+        error: &'a str,
+    },
 }
 
 /// What one invocation did.
@@ -67,14 +88,28 @@ impl RunOutcome {
     }
 }
 
+/// A worker's report back to the main thread.
+enum Msg {
+    Started {
+        worker: usize,
+        index: usize,
+    },
+    Finished {
+        worker: usize,
+        index: usize,
+        // Boxed so `Started` and `Finished` stay close in size.
+        outcome: Box<Result<CellResult, String>>,
+    },
+}
+
 /// Run every cell of `plan` that is not already checkpointed in `store`,
-/// fanning across `opts.threads` workers; `on_done` fires on the calling
-/// thread after each checkpoint lands.
+/// fanning across `opts.threads` workers; `on_event` fires on the calling
+/// thread as workers start cells and as checkpoints land.
 pub fn run_plan(
     plan: &RunPlan,
     store: &ResultStore,
     opts: &RunnerOptions,
-    mut on_done: impl FnMut(CellDone<'_>),
+    mut on_event: impl FnMut(RunnerEvent<'_>),
 ) -> Result<RunOutcome, String> {
     let mut pending: Vec<&PlannedCell> = plan
         .cells
@@ -99,12 +134,12 @@ pub fn run_plan(
 
     let workers = opts.threads.clamp(1, pending.len());
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<CellResult, String>)>();
+    let (tx, rx) = mpsc::channel::<Msg>();
     let mut errors: Vec<String> = Vec::new();
     let mut completed = 0usize;
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let pending = &pending;
@@ -115,28 +150,62 @@ pub fn run_plan(
                 }
                 // A dropped receiver means the main thread bailed on a
                 // checkpoint error; just stop pulling work.
-                if tx.send((i, run_cell(&pending[i].spec))).is_err() {
+                if tx
+                    .send(Msg::Started {
+                        worker: w,
+                        index: i,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                let outcome = Box::new(run_cell(&pending[i].spec));
+                let msg = Msg::Finished {
+                    worker: w,
+                    index: i,
+                    outcome,
+                };
+                if tx.send(msg).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (i, outcome) in rx {
-            match outcome {
-                Ok(result) => {
-                    if let Err(e) = store.save(&result) {
-                        errors.push(e);
-                        break;
+        for msg in rx {
+            match msg {
+                Msg::Started { worker, index } => on_event(RunnerEvent::Started {
+                    worker,
+                    cell: pending[index],
+                }),
+                Msg::Finished {
+                    worker,
+                    index,
+                    outcome,
+                } => match *outcome {
+                    Ok(result) => {
+                        if let Err(e) = store.save(&result) {
+                            errors.push(e);
+                            break;
+                        }
+                        completed += 1;
+                        on_event(RunnerEvent::Done(CellDone {
+                            cell: pending[index],
+                            result: &result,
+                            worker,
+                            completed,
+                            pending: pending.len(),
+                        }));
                     }
-                    completed += 1;
-                    on_done(CellDone {
-                        cell: pending[i],
-                        result: &result,
-                        completed,
-                        pending: pending.len(),
-                    });
-                }
-                Err(e) => errors.push(format!("cell {}: {e}", pending[i].hash)),
+                    Err(e) => {
+                        let error = format!("cell {}: {e}", pending[index].hash);
+                        on_event(RunnerEvent::Failed {
+                            worker,
+                            cell: pending[index],
+                            error: &error,
+                        });
+                        errors.push(error);
+                    }
+                },
             }
         }
     });
@@ -191,11 +260,20 @@ mod tests {
         let plan = tiny_plan();
         let (dir, store) = temp_store("pool");
         let mut seen = 0;
-        let out = run_plan(&plan, &store, &RunnerOptions::default(), |d| {
-            seen = d.completed;
-            assert_eq!(d.pending, 4);
+        let mut started = 0;
+        let out = run_plan(&plan, &store, &RunnerOptions::default(), |ev| match ev {
+            RunnerEvent::Started { worker, .. } => {
+                assert_eq!(worker, 0, "single-threaded runner has one worker");
+                started += 1;
+            }
+            RunnerEvent::Done(d) => {
+                seen = d.completed;
+                assert_eq!(d.pending, 4);
+            }
+            RunnerEvent::Failed { error, .. } => panic!("unexpected failure: {error}"),
         })
         .unwrap();
+        assert_eq!(started, 4, "every cell announces before it runs");
         assert_eq!(out.ran, 4);
         assert_eq!(out.skipped, 0);
         assert!(out.complete());

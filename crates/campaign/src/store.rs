@@ -166,6 +166,7 @@ mod tests {
             reliability: ReliabilityStats::default(),
             goodput: None,
             wall_ms: 42,
+            peak_rss_kb: 0,
         }
     }
 

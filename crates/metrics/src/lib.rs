@@ -6,12 +6,16 @@ pub mod chrome;
 mod curve;
 pub mod export;
 pub mod json;
+pub mod registry;
 mod stats;
+pub mod sys;
 mod util;
 
 pub use chrome::{Arg as ChromeArg, ChromeTrace};
 pub use curve::{Curve, CurvePoint, NamedSeries, TimeSeries};
 pub use export::{curve_to_dat, write_figure, write_time_series};
 pub use json::JsonValue;
+pub use registry::{MetricFamily, MetricKind, MetricPoint, MetricValue, MetricsRegistry};
 pub use stats::{Histogram, RunningStats};
+pub use sys::peak_rss_kb;
 pub use util::UtilizationSummary;

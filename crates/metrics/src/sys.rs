@@ -1,0 +1,24 @@
+//! Small process-introspection helpers shared by the bench and campaign
+//! harnesses. Everything here is wall-clock/OS-domain data: it must never
+//! feed into `RunStats` or any field compared by a determinism check.
+
+/// Peak resident-set size of this process in KiB, from `VmHWM` in
+/// `/proc/self/status`; `None` off Linux or if the field is absent.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peak_rss_reads_proc_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(super::peak_rss_kb().unwrap() > 0);
+    }
+}

@@ -3,14 +3,14 @@
 //! operations behind every table and figure of the paper.
 
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_metrics::{Curve, CurvePoint, UtilizationSummary};
+use regnet_metrics::{Curve, CurvePoint, MetricsRegistry, UtilizationSummary};
 use regnet_topology::Topology;
 use regnet_traffic::{Pattern, PatternSpec};
 
 use crate::config::SimConfig;
 use crate::events::{EventJournal, EventOptions};
 use crate::faultplan::{FaultOptions, ReliabilityStats};
-use crate::profiler::ProfileReport;
+use crate::profiler::{ProfileReport, SpanReport};
 use crate::sched::Scheduler;
 use crate::sim::{ChannelDesc, RunStats, Simulator};
 use crate::trace::{ChannelUtilSeries, TraceOptions, TraceReport};
@@ -73,7 +73,146 @@ pub struct RunObservation {
     pub reliability: ReliabilityStats,
     pub trace: Option<TraceReport>,
     pub profile: Option<ProfileReport>,
+    /// Hierarchical view of `profile` (phase → shard → component bucket).
+    pub spans: Option<SpanReport>,
     pub journal: Option<Box<EventJournal>>,
+}
+
+impl RunObservation {
+    /// Project the run into the unified [`MetricsRegistry`]: the 19 event
+    /// counters, the run gauges, the 13 reliability counters, the ITB
+    /// occupancy peak and the latency summaries — everything the
+    /// simulation determined, nothing wall-clock, so two same-seed runs
+    /// produce byte-identical Prometheus exposition
+    /// ([`MetricsRegistry::to_prometheus`]).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s = &self.stats;
+        if let Some(c) = &s.counters {
+            for (name, value) in c.as_pairs() {
+                reg.counter_with(
+                    "regnet_events_total",
+                    "Simulator event counts over the measurement window, by event kind",
+                    &[("event", name)],
+                    value,
+                );
+            }
+        }
+        reg.gauge(
+            "regnet_run_window_cycles",
+            "Length of the measurement window, cycles",
+            s.window_cycles as f64,
+        );
+        reg.gauge(
+            "regnet_run_delivered_messages",
+            "Messages fully delivered during the window",
+            s.delivered as f64,
+        );
+        reg.gauge(
+            "regnet_run_generated_messages",
+            "Messages generated during the window",
+            s.generated as f64,
+        );
+        reg.gauge(
+            "regnet_run_delivered_payload_flits",
+            "Payload flits delivered during the window",
+            s.delivered_payload_flits as f64,
+        );
+        reg.gauge(
+            "regnet_run_avg_latency_ns",
+            "Mean network latency (injection to delivery), ns",
+            s.avg_latency_ns,
+        );
+        reg.gauge(
+            "regnet_run_p99_latency_ns",
+            "99th-percentile network latency, ns",
+            s.p99_latency_ns,
+        );
+        reg.gauge(
+            "regnet_run_avg_total_latency_ns",
+            "Mean total latency (generation to delivery), ns",
+            s.avg_total_latency_ns,
+        );
+        reg.gauge(
+            "regnet_run_avg_itbs_per_msg",
+            "Mean in-transit buffer hops per message",
+            s.avg_itbs_per_msg,
+        );
+        reg.gauge(
+            "regnet_run_gen_stall_cycles",
+            "Generation cycles stalled by flow control",
+            s.gen_stall_cycles as f64,
+        );
+        reg.gauge(
+            "regnet_run_max_pool_flits",
+            "Peak ITB pool occupancy of any single NIC during the window, flits",
+            s.max_pool_flits as f64,
+        );
+        let r = &self.reliability;
+        for (kind, value) in [
+            ("link_failures", r.link_failures),
+            ("switch_failures", r.switch_failures),
+            ("host_failures", r.host_failures),
+            ("repairs", r.repairs),
+            ("worms_truncated", r.worms_truncated),
+            ("retransmissions", r.retransmissions),
+            ("dropped_packets", r.dropped_packets),
+            ("dropped_messages", r.dropped_messages),
+            ("unreachable_drops", r.unreachable_drops),
+            ("reconfigurations", r.reconfigurations),
+            ("reconfig_failures", r.reconfig_failures),
+            ("reconfig_stall_cycles", r.reconfig_stall_cycles),
+            ("unreachable_pairs", r.unreachable_pairs),
+        ] {
+            reg.counter_with(
+                "regnet_reliability_total",
+                "Dependability event counts, by kind",
+                &[("kind", kind)],
+                value,
+            );
+        }
+        if let Some(t) = &self.trace {
+            reg.counter(
+                "regnet_digest_events_total",
+                "Delivered-message events folded into the determinism digest",
+                t.digest_events,
+            );
+            if let Some(occ) = &t.itb_occupancy {
+                reg.gauge(
+                    "regnet_itb_pool_peak_flits",
+                    "Peak total ITB pool occupancy across all NICs, flits",
+                    occ.max as f64,
+                );
+            }
+            for (name, help, summary) in [
+                (
+                    "regnet_packet_lifetime_cycles",
+                    "Message lifetime (injection to delivery), cycles; sum not tracked",
+                    &t.lifetime,
+                ),
+                (
+                    "regnet_itb_reinject_latency_cycles",
+                    "ITB ejection to re-injection start, cycles; sum not tracked",
+                    &t.reinject_latency,
+                ),
+            ] {
+                if let Some(l) = summary {
+                    reg.summary(
+                        name,
+                        help,
+                        l.count,
+                        0.0,
+                        &[
+                            (0.5, l.p50_cycles as f64),
+                            (0.99, l.p99_cycles as f64),
+                            (1.0, l.max_cycles as f64),
+                        ],
+                    );
+                }
+            }
+        }
+        reg
+    }
 }
 
 /// Run `f(0..n)` on `threads` OS threads (1 = sequential) and return the
@@ -263,6 +402,7 @@ impl Experiment {
             reliability: sim.reliability(),
             trace: sim.trace_report(),
             profile: sim.profile_report(),
+            spans: sim.span_report(),
             journal: sim.take_journal(),
         }
     }

@@ -77,8 +77,11 @@ pub use events::{BlockCause, Event, EventJournal, EventKind, EventMask, EventOpt
 pub use experiment::{par_map, Experiment, RunObservation, RunOptions, ThroughputSearch};
 pub use faultplan::{FaultEvent, FaultOptions, FaultPlan, FaultTarget, ReliabilityStats};
 pub use partition::ShardPlan;
-pub use profiler::{PhaseProfile, ProfileReport, PHASE_NAMES};
+pub use profiler::{PhaseProfile, ProfileReport, SpanNode, SpanReport, PHASE_NAMES};
 pub use sched::Scheduler;
 pub use sim::{ChannelDesc, RunStats, Simulator};
-pub use trace::{ChannelUtilSeries, GoodputSeries, OccupancySeries, TraceOptions, TraceReport};
+pub use trace::{
+    ChannelUtilSeries, GoodputSeries, LatencySummary, MetricsSample, MetricsSeries,
+    OccupancySeries, TraceOptions, TraceReport,
+};
 pub use wfg::{StallClass, StallReport};

@@ -294,6 +294,10 @@ pub(crate) struct ShardState {
     pub(crate) arr_fx: Vec<(u32, ArrFx)>,
     pub(crate) sw_fx: Vec<(u32, u32, EventKind)>,
     pub(crate) nic_fx: Vec<(u32, NicFx)>,
+    /// Per-shard span wall time this cycle, ns: ctl deliveries, data
+    /// arrivals (region A), switch advance, NIC transmit (region B).
+    /// Written only when `ParCtx::prof_on`; drained by `step_parallel`.
+    pub(crate) span_ns: [u64; 4],
 }
 
 impl ShardState {
@@ -311,6 +315,7 @@ impl ShardState {
             arr_fx: Vec::new(),
             sw_fx: Vec::new(),
             nic_fx: Vec::new(),
+            span_ns: [0; 4],
         }
     }
 }
@@ -418,6 +423,9 @@ pub(crate) struct ParCtx {
     pub(crate) diag: bool,
     pub(crate) journal_on: bool,
     pub(crate) trace_on: bool,
+    /// Profiler enabled: workers time their region sub-drains into
+    /// `ShardState::span_ns` (no `Instant` calls otherwise).
+    pub(crate) prof_on: bool,
 }
 
 // SAFETY: shared across executors for the duration of one region; the
@@ -473,6 +481,7 @@ pub(crate) fn run_region_b(ctx: &ParCtx, executor: usize) {
 unsafe fn region_a(ctx: &ParCtx, s: usize) {
     let cycle = ctx.cycle;
     let sh = &mut *ctx.shards.add(s);
+    let mut mark = ctx.prof_on.then(std::time::Instant::now);
 
     let bucket = sh.sched.take_ctl(cycle);
     for &ci in &bucket {
@@ -499,6 +508,11 @@ unsafe fn region_a(ctx: &ParCtx, s: usize) {
         }
     }
     sh.sched.recycle(bucket);
+    if let Some(m) = mark.as_mut() {
+        let now = std::time::Instant::now();
+        sh.span_ns[0] += (now - *m).as_nanos() as u64;
+        *m = now;
+    }
 
     let bucket = sh.sched.take_data(cycle);
     for &ci in &bucket {
@@ -512,6 +526,9 @@ unsafe fn region_a(ctx: &ParCtx, s: usize) {
         }
     }
     sh.sched.recycle(bucket);
+    if let Some(m) = mark {
+        sh.span_ns[1] += m.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Emit a control symbol from region A. Intra-shard (this shard owns the
@@ -671,6 +688,7 @@ unsafe fn nic_rx(ctx: &ParCtx, sh: &mut ShardState, ci: u32, host: u32, pid: u32
 unsafe fn region_b(ctx: &ParCtx, s: usize) {
     let cycle = ctx.cycle;
     let sh = &mut *ctx.shards.add(s);
+    let mut mark = ctx.prof_on.then(std::time::Instant::now);
 
     let mut list = sh.sched.take_active_switches();
     list.sort_unstable();
@@ -684,6 +702,11 @@ unsafe fn region_b(ctx: &ParCtx, s: usize) {
         }
     });
     sh.sched.merge_switches(list);
+    if let Some(m) = mark.as_mut() {
+        let now = std::time::Instant::now();
+        sh.span_ns[2] += (now - *m).as_nanos() as u64;
+        *m = now;
+    }
 
     sh.sched.drain_wakes(cycle);
     let mut list = sh.sched.take_active_nics();
@@ -698,6 +721,9 @@ unsafe fn region_b(ctx: &ParCtx, s: usize) {
         }
     });
     sh.sched.merge_nics(list);
+    if let Some(m) = mark {
+        sh.span_ns[3] += m.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Emit a control symbol from region B. The write is always direct — this

@@ -1,4 +1,5 @@
-//! Engine self-profiler: wall-clock time per simulation phase.
+//! Engine self-profiler: wall-clock time per simulation phase, with
+//! optional child spans below each phase.
 //!
 //! Answers "where does the engine spend its time" — routing and
 //! arbitration vs channel bookkeeping vs generation vs observer overhead —
@@ -6,9 +7,21 @@
 //! timestamped path that wraps each phase with `Instant::now()`; disabled
 //! (the default), the fast path has no timing calls at all.
 //!
+//! Two views of the same data:
+//!
+//! * [`ProfileReport`] — the flat per-phase table (`bench_report`'s
+//!   committed baseline format; unchanged layout).
+//! * [`SpanReport`] — the hierarchical tree *phase → shard → component
+//!   bucket* with a collapsed-stack export ([`SpanReport::to_collapsed`],
+//!   `inferno`/`flamegraph.pl`-compatible), which says where *inside* the
+//!   switch phase a mega-scale run spends its time.
+//!
 //! Wall-clock figures are host-machine noise, so they are kept strictly
 //! out of `RunStats` (which must be bit-identical across same-seed runs);
-//! collect them separately with `Simulator::profile_report`.
+//! collect them separately with `Simulator::profile_report` /
+//! `Simulator::span_report`.
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +38,10 @@ pub const PHASE_NAMES: [&str; 7] = [
 
 pub(crate) const N_PHASES: usize = PHASE_NAMES.len();
 
+/// Shard index used for child spans recorded by the sequential engines
+/// (no shard level in the tree).
+pub(crate) const NO_SHARD: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Phase {
     Faults = 0,
@@ -36,11 +53,15 @@ pub(crate) enum Phase {
     Observers = 6,
 }
 
-/// Accumulated nanoseconds per phase.
+/// Accumulated nanoseconds per phase, plus child-span buckets keyed by
+/// `(phase, shard, label)`. The flat array stays authoritative: child
+/// spans are timed independently inside the phase and reconciled against
+/// the phase total at report time.
 #[derive(Debug, Default)]
 pub(crate) struct Profiler {
     pub ns: [u64; N_PHASES],
     pub cycles: u64,
+    children: BTreeMap<(u8, u32, &'static str), u64>,
 }
 
 impl Profiler {
@@ -51,6 +72,16 @@ impl Profiler {
     #[inline]
     pub(crate) fn add(&mut self, phase: Phase, ns: u64) {
         self.ns[phase as usize] += ns;
+    }
+
+    /// Accumulate a child span under `phase`. Use [`NO_SHARD`] for spans
+    /// recorded outside the shard-parallel engine.
+    #[inline]
+    pub(crate) fn add_child(&mut self, phase: Phase, shard: u32, label: &'static str, ns: u64) {
+        *self
+            .children
+            .entry((phase as u8, shard, label))
+            .or_insert(0) += ns;
     }
 
     pub(crate) fn report(&self) -> ProfileReport {
@@ -71,6 +102,76 @@ impl Profiler {
                     },
                 })
                 .collect(),
+        }
+    }
+
+    /// Build the hierarchical view. Per phase the child spans are
+    /// reconciled against the flat phase total: children and phases are
+    /// timed by separate `Instant` pairs, so clock granularity can push
+    /// the child sum a hair past the phase wall time — in that case the
+    /// children are scaled down proportionally (floor division, remainder
+    /// to the largest child) so `self + Σ child.total == total` holds
+    /// *exactly* at every node and phase totals equal [`ProfileReport`]'s.
+    pub(crate) fn span_report(&self) -> SpanReport {
+        let mut roots = Vec::with_capacity(N_PHASES);
+        for (p, &phase_name) in PHASE_NAMES.iter().enumerate() {
+            let phase_ns = self.ns[p];
+            // BTreeMap order: shards ascending, labels alphabetical,
+            // NO_SHARD (u32::MAX) last — deterministic.
+            let mut leaves: Vec<(u32, &'static str, u64)> = self
+                .children
+                .iter()
+                .filter(|&(&(ph, _, _), _)| ph == p as u8)
+                .map(|(&(_, shard, label), &ns)| (shard, label, ns))
+                .collect();
+            let sum: u64 = leaves.iter().map(|&(_, _, ns)| ns).sum();
+            let self_ns = if sum > phase_ns {
+                let mut scaled_sum = 0u64;
+                for l in &mut leaves {
+                    l.2 = ((l.2 as u128 * phase_ns as u128) / sum as u128) as u64;
+                    scaled_sum += l.2;
+                }
+                if let Some(largest) = leaves.iter_mut().max_by_key(|l| l.2) {
+                    largest.2 += phase_ns - scaled_sum;
+                }
+                0
+            } else {
+                phase_ns - sum
+            };
+            let mut children = Vec::new();
+            let mut i = 0;
+            while i < leaves.len() {
+                let (shard, label, ns) = leaves[i];
+                if shard == NO_SHARD {
+                    children.push(SpanNode::leaf(label, ns));
+                    i += 1;
+                    continue;
+                }
+                let mut kids = Vec::new();
+                let mut shard_total = 0u64;
+                while i < leaves.len() && leaves[i].0 == shard {
+                    shard_total += leaves[i].2;
+                    kids.push(SpanNode::leaf(leaves[i].1, leaves[i].2));
+                    i += 1;
+                }
+                children.push(SpanNode {
+                    name: format!("shard{shard}"),
+                    total_ns: shard_total,
+                    self_ns: 0,
+                    children: kids,
+                });
+            }
+            roots.push(SpanNode {
+                name: phase_name.to_string(),
+                total_ns: phase_ns,
+                self_ns,
+                children,
+            });
+        }
+        SpanReport {
+            cycles: self.cycles,
+            total_ns: self.ns.iter().sum(),
+            roots,
         }
     }
 }
@@ -124,9 +225,113 @@ impl ProfileReport {
     }
 }
 
+/// One node of the span tree. Invariant (enforced at construction):
+/// `self_ns + Σ children.total_ns == total_ns`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    pub name: String,
+    /// Wall time of this span including its children, ns.
+    pub total_ns: u64,
+    /// Wall time not attributed to any child, ns.
+    pub self_ns: u64,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn leaf(name: &str, ns: u64) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            total_ns: ns,
+            self_ns: ns,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// The hierarchical profile: one root span per phase, in execution order;
+/// phase totals equal the flat [`ProfileReport`] exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Cycles stepped while profiling.
+    pub cycles: u64,
+    /// Total profiled wall time, ns (== Σ root totals).
+    pub total_ns: u64,
+    pub roots: Vec<SpanNode>,
+}
+
+impl SpanReport {
+    /// Collapsed-stack export: one `frame;frame;frame <self_ns>` line per
+    /// span with non-zero self time, rooted at `engine`. Feed to
+    /// `inferno-flamegraph` / `flamegraph.pl` for an SVG.
+    pub fn to_collapsed(&self) -> String {
+        fn walk(out: &mut String, prefix: &str, node: &SpanNode) {
+            let stack = format!("{prefix};{}", node.name);
+            if node.self_ns > 0 {
+                out.push_str(&stack);
+                out.push(' ');
+                out.push_str(&node.self_ns.to_string());
+                out.push('\n');
+            }
+            for c in &node.children {
+                walk(out, &stack, c);
+            }
+        }
+        let mut out = String::new();
+        for root in &self.roots {
+            walk(&mut out, "engine", root);
+        }
+        out
+    }
+
+    /// Indented tree table for terminal output.
+    pub fn to_table(&self) -> String {
+        fn walk(out: &mut String, node: &SpanNode, depth: usize, grand_total: u64) {
+            let pct = if grand_total > 0 {
+                node.total_ns as f64 / grand_total as f64 * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:indent$}{:<width$} {:>6.2}%  {:>12} ns\n",
+                "",
+                node.name,
+                pct,
+                node.total_ns,
+                indent = depth * 2,
+                width = 24usize.saturating_sub(depth * 2),
+            ));
+            for c in &node.children {
+                walk(out, c, depth + 1, grand_total);
+            }
+        }
+        let mut out = format!(
+            "span profile: {} cycles in {:.3} s\n",
+            self.cycles,
+            self.total_ns as f64 / 1e9
+        );
+        for root in &self.roots {
+            walk(&mut out, root, 0, self.total_ns);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn assert_node_invariant(n: &SpanNode) {
+        let child_sum: u64 = n.children.iter().map(|c| c.total_ns).sum();
+        assert_eq!(
+            n.self_ns + child_sum,
+            n.total_ns,
+            "span invariant violated at {:?}",
+            n.name
+        );
+        for c in &n.children {
+            assert_node_invariant(c);
+        }
+    }
 
     #[test]
     fn report_fractions_sum_to_one() {
@@ -152,5 +357,74 @@ mod tests {
         assert_eq!(r.total_ns, 0);
         assert_eq!(r.cycles_per_sec(), 0.0);
         assert!(r.phases.iter().all(|p| p.fraction == 0.0));
+    }
+
+    #[test]
+    fn span_tree_reconciles_with_flat_phases() {
+        let mut p = Profiler::new();
+        p.cycles = 5;
+        p.add(Phase::Switches, 1000);
+        p.add_child(Phase::Switches, NO_SHARD, "routing", 600);
+        p.add_child(Phase::Switches, NO_SHARD, "crossbar", 300);
+        p.add(Phase::Observers, 50);
+        let spans = p.span_report();
+        let flat = p.report();
+        assert_eq!(spans.total_ns, flat.total_ns);
+        for (root, phase) in spans.roots.iter().zip(&flat.phases) {
+            assert_eq!(root.name, phase.name);
+            assert_eq!(root.total_ns, phase.ns);
+            assert_node_invariant(root);
+        }
+        // Unattributed phase time shows up as self time.
+        let sw = &spans.roots[Phase::Switches as usize];
+        assert_eq!(sw.self_ns, 100);
+        assert_eq!(sw.children.len(), 2);
+        // BTreeMap label order: crossbar before routing.
+        assert_eq!(sw.children[0].name, "crossbar");
+        assert_eq!(sw.children[1].name, "routing");
+    }
+
+    #[test]
+    fn overshooting_children_are_scaled_to_fit_exactly() {
+        let mut p = Profiler::new();
+        p.add(Phase::Arrivals, 1000);
+        // Children sum to 1003 > 1000 (separate Instant pairs drift).
+        p.add_child(Phase::Arrivals, 0, "control", 500);
+        p.add_child(Phase::Arrivals, 0, "arrivals", 200);
+        p.add_child(Phase::Arrivals, 1, "control", 303);
+        let spans = p.span_report();
+        let arr = &spans.roots[Phase::Arrivals as usize];
+        assert_eq!(arr.total_ns, 1000);
+        assert_eq!(arr.self_ns, 0);
+        let child_sum: u64 = arr.children.iter().map(|c| c.total_ns).sum();
+        assert_eq!(child_sum, 1000, "scaled children must sum exactly");
+        assert_node_invariant(arr);
+        // Shard grouping: two shard intermediates with self 0.
+        assert_eq!(arr.children[0].name, "shard0");
+        assert_eq!(arr.children[1].name, "shard1");
+        assert_eq!(arr.children[0].self_ns, 0);
+        assert_eq!(arr.children[0].children.len(), 2);
+    }
+
+    #[test]
+    fn collapsed_stacks_cover_the_total() {
+        let mut p = Profiler::new();
+        p.add(Phase::Switches, 1000);
+        p.add_child(Phase::Switches, 2, "switches", 700);
+        p.add_child(Phase::Switches, 2, "nic_tx", 100);
+        p.add(Phase::Generation, 50);
+        let spans = p.span_report();
+        let collapsed = spans.to_collapsed();
+        assert!(collapsed.contains("engine;switches 200\n"));
+        assert!(collapsed.contains("engine;switches;shard2;switches 700\n"));
+        assert!(collapsed.contains("engine;switches;shard2;nic_tx 100\n"));
+        assert!(collapsed.contains("engine;generation 50\n"));
+        // Every line's value is a self time; they sum to the grand total.
+        let sum: u64 = collapsed
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(sum, spans.total_ns);
+        assert!(spans.to_table().contains("shard2"));
     }
 }

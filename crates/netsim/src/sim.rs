@@ -35,7 +35,7 @@ use crate::faultplan::{FaultEvent, FaultOptions, FaultRuntime, FaultTarget, Reli
 use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{Packet, PacketArena};
 use crate::par::{ArrFx, NicFx, ParCtx, ParEngine};
-use crate::profiler::{Phase, ProfileReport, Profiler};
+use crate::profiler::{Phase, ProfileReport, Profiler, SpanReport, NO_SHARD};
 use crate::sched::{ActiveSched, Scheduler};
 use crate::switch::{HeadState, InPkt, InPort, OutPort, SwitchState};
 use crate::trace::{TraceOptions, TraceReport, TraceState};
@@ -475,6 +475,12 @@ impl<'a> Simulator<'a> {
         self.profiler.as_deref().map(|p| p.report())
     }
 
+    /// Hierarchical span view of the same profile (phase → shard →
+    /// component bucket); `None` when profiling was never enabled.
+    pub fn span_report(&self) -> Option<SpanReport> {
+        self.profiler.as_deref().map(|p| p.span_report())
+    }
+
     /// Arm the fault-injection runtime with `opts` (see [`FaultOptions`]).
     /// Call before running; events earlier than the current cycle fire
     /// immediately on the next step.
@@ -753,10 +759,10 @@ impl<'a> Simulator<'a> {
             }
             self.ctl_phase(cycle);
             self.arrival_phase(cycle);
-            self.switches_phase(cycle);
+            self.switches_phase(cycle, None);
             self.nic_tx_phase(cycle);
             self.gen_phase(cycle);
-            self.observer_phase(cycle);
+            self.observer_phase(cycle, None);
         }
         self.cycle += 1;
     }
@@ -784,14 +790,20 @@ impl<'a> Simulator<'a> {
         lap(&mut prof, Phase::Control);
         self.arrival_phase(cycle);
         lap(&mut prof, Phase::Arrivals);
-        self.switches_phase(cycle);
+        // (routing control units, arbitration + crossbar transfer) ns.
+        let mut sw_timing = (0u64, 0u64);
+        self.switches_phase(cycle, Some(&mut sw_timing));
         lap(&mut prof, Phase::Switches);
+        prof.add_child(Phase::Switches, NO_SHARD, "routing", sw_timing.0);
+        prof.add_child(Phase::Switches, NO_SHARD, "crossbar", sw_timing.1);
         self.nic_tx_phase(cycle);
         lap(&mut prof, Phase::NicTx);
         self.gen_phase(cycle);
         lap(&mut prof, Phase::Generation);
-        self.observer_phase(cycle);
+        let mut trace_ns = 0u64;
+        self.observer_phase(cycle, Some(&mut trace_ns));
         lap(&mut prof, Phase::Observers);
+        prof.add_child(Phase::Observers, NO_SHARD, "trace", trace_ns);
         prof.cycles += 1;
         self.profiler = Some(prof);
     }
@@ -817,6 +829,9 @@ impl<'a> Simulator<'a> {
             diag: self.counters.is_some() || self.journal.is_some(),
             journal_on: self.journal.is_some(),
             trace_on: self.trace.is_some(),
+            // The profiler is temporarily taken out during step_parallel,
+            // so the caller overrides this from its local handle.
+            prof_on: false,
         }
     }
 
@@ -830,13 +845,17 @@ impl<'a> Simulator<'a> {
         let cycle = self.cycle;
         let mut pe = self.par.take().expect("parallel step without engine");
         let mut prof = self.profiler.take();
+        let prof_on = prof.is_some();
         // Coarse profiler mapping: region A → Arrivals, mid-barrier →
         // Control, region B → Switches, fold → NicTx (the fused regions
         // cannot be split into the sequential engine's finer phases).
+        // Shard-level spans below the two regions come from the workers'
+        // own `span_ns` accumulators, drained after region B.
         let mut mark = prof.as_ref().map(|_| Instant::now());
 
         {
-            let ctx = self.par_ctx(&mut pe, cycle);
+            let mut ctx = self.par_ctx(&mut pe, cycle);
+            ctx.prof_on = prof_on;
             pe.pool.run(&move |e| crate::par::run_region_a(&ctx, e));
         }
         lap_par(&mut prof, &mut mark, Phase::Arrivals);
@@ -861,10 +880,25 @@ impl<'a> Simulator<'a> {
         lap_par(&mut prof, &mut mark, Phase::Control);
 
         {
-            let ctx = self.par_ctx(&mut pe, cycle);
+            let mut ctx = self.par_ctx(&mut pe, cycle);
+            ctx.prof_on = prof_on;
             pe.pool.run(&move |e| crate::par::run_region_b(&ctx, e));
         }
         lap_par(&mut prof, &mut mark, Phase::Switches);
+
+        // Drain the workers' shard-span accumulators: region A buckets
+        // nest under Arrivals, region B buckets under Switches (matching
+        // the coarse mapping above).
+        if let Some(p) = prof.as_deref_mut() {
+            for (k, sh) in pe.shards.iter_mut().enumerate() {
+                let [ctl, arr, sw, nic] = sh.span_ns;
+                p.add_child(Phase::Arrivals, k as u32, "control", ctl);
+                p.add_child(Phase::Arrivals, k as u32, "arrivals", arr);
+                p.add_child(Phase::Switches, k as u32, "switches", sw);
+                p.add_child(Phase::Switches, k as u32, "nic_tx", nic);
+                sh.span_ns = [0; 4];
+            }
+        }
 
         self.fold_parallel(&mut pe, cycle);
         lap_par(&mut prof, &mut mark, Phase::NicTx);
@@ -874,9 +908,11 @@ impl<'a> Simulator<'a> {
         self.par = Some(pe);
         self.gen_phase(cycle);
         lap_par(&mut prof, &mut mark, Phase::Generation);
-        self.observer_phase(cycle);
+        let mut trace_ns = 0u64;
+        self.observer_phase(cycle, prof_on.then_some(&mut trace_ns));
         lap_par(&mut prof, &mut mark, Phase::Observers);
         if let Some(p) = prof.as_deref_mut() {
+            p.add_child(Phase::Observers, NO_SHARD, "trace", trace_ns);
             p.cycles += 1;
         }
         self.profiler = prof;
@@ -1073,13 +1109,15 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Phase 3: switches route, arbitrate and transfer.
-    fn switches_phase(&mut self, cycle: u64) {
+    /// Phase 3: switches route, arbitrate and transfer. `timing`, when
+    /// profiling, accumulates (routing, arbitration+crossbar) ns across
+    /// all switches visited this cycle.
+    fn switches_phase(&mut self, cycle: u64, mut timing: Option<&mut (u64, u64)>) {
         if self.sched.is_some() {
             let mut list = self.sched.as_mut().unwrap().take_active_switches();
             list.sort_unstable();
             list.retain(|&s| {
-                self.switch_phase(s as usize, cycle);
+                self.switch_phase(s as usize, cycle, timing.as_deref_mut());
                 if self.switches[s as usize].is_quiescent() {
                     self.sched.as_mut().unwrap().retire_switch(s);
                     false
@@ -1090,7 +1128,7 @@ impl<'a> Simulator<'a> {
             self.sched.as_mut().unwrap().merge_switches(list);
         } else {
             for s in 0..self.switches.len() {
-                self.switch_phase(s, cycle);
+                self.switch_phase(s, cycle, timing.as_deref_mut());
             }
         }
     }
@@ -1126,8 +1164,10 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Watchdog + per-cycle observer work.
-    fn observer_phase(&mut self, cycle: u64) {
+    /// Watchdog + per-cycle observer work. `trace_ns`, when profiling,
+    /// accumulates the wall time of the trace observer's end-of-cycle hook
+    /// (the "trace" child span under the observers phase).
+    fn observer_phase(&mut self, cycle: u64, trace_ns: Option<&mut u64>) {
         // Watchdog: a quiescent network with live packets should be
         // impossible under the routing schemes' deadlock-freedom argument.
         // Before aborting, run the wait-for-graph analyzer so the panic
@@ -1148,7 +1188,18 @@ impl<'a> Simulator<'a> {
         }
 
         if let Some(tr) = &mut self.trace {
-            tr.on_cycle_end(cycle, &self.channels, &self.nics);
+            let mark = trace_ns.as_ref().map(|_| std::time::Instant::now());
+            let live = self.arena.live() as u64;
+            tr.on_cycle_end(
+                cycle,
+                &self.channels,
+                &self.nics,
+                live,
+                self.counters.as_deref(),
+            );
+            if let (Some(acc), Some(m)) = (trace_ns, mark) {
+                *acc += m.elapsed().as_nanos() as u64;
+            }
         }
     }
 
@@ -1199,7 +1250,11 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn switch_phase(&mut self, s: usize, cycle: u64) {
+    /// One switch's routing + arbitration + transfer work. `timing`, when
+    /// profiling, accumulates (routing-units, arbitration+crossbar) ns —
+    /// a single pass with optional timestamps, never a restructured loop,
+    /// so journal record order is identical profiled or not.
+    fn switch_phase(&mut self, s: usize, cycle: u64, mut timing: Option<&mut (u64, u64)>) {
         let faults_on = self.faults.is_some();
         // A dead switch routes nothing (its resident packets were purged
         // when it failed).
@@ -1219,6 +1274,7 @@ impl<'a> Simulator<'a> {
         let cfg = &self.cfg;
         let sw = &mut self.switches[s];
         let nports = sw.active_ports.len();
+        let mut mark = timing.as_ref().map(|_| std::time::Instant::now());
 
         // Routing control units: consume the header byte of each head
         // packet and start the 150 ns routing delay.
@@ -1318,6 +1374,11 @@ impl<'a> Simulator<'a> {
                 HeadState::Requesting | HeadState::Granted => {}
             }
         }
+        if let (Some(t), Some(m)) = (timing.as_deref_mut(), mark.as_mut()) {
+            let now = std::time::Instant::now();
+            t.0 += (now - *m).as_nanos() as u64;
+            *m = now;
+        }
 
         // Output ports: arbitrate (demand-slotted round-robin over the
         // requesting inputs) and transfer one flit per connected port.
@@ -1411,6 +1472,9 @@ impl<'a> Simulator<'a> {
                 inp.head = HeadState::Idle;
                 sw.outp[p].as_mut().unwrap().conn_in = None;
             }
+        }
+        if let (Some(t), Some(m)) = (timing, mark) {
+            t.1 += m.elapsed().as_nanos() as u64;
         }
 
         for pid in lost {

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use regnet_metrics::Histogram;
 
 use crate::channel::Channel;
+use crate::counters::{CounterSnapshot, Counters};
 use crate::nic::Nic;
 
 /// Which observers to enable. `Default` is everything off — the simulator
@@ -41,6 +42,9 @@ pub struct TraceOptions {
     /// Bucket delivered payload flits every this many cycles (goodput time
     /// series; shows the dip and recovery around a fault).
     pub goodput_interval: Option<u64>,
+    /// Sample the unified metrics row (live packets, ITB pool flits, the
+    /// 19 event counters) every this many cycles.
+    pub metrics_interval: Option<u64>,
 }
 
 impl TraceOptions {
@@ -51,6 +55,7 @@ impl TraceOptions {
             || self.itb_occupancy_interval.is_some()
             || self.digest
             || self.goodput_interval.is_some()
+            || self.metrics_interval.is_some()
     }
 
     /// Only the determinism digest (cheapest useful observer).
@@ -71,6 +76,7 @@ impl TraceOptions {
             itb_occupancy_interval: Some(interval),
             digest: true,
             goodput_interval: Some(interval),
+            metrics_interval: Some(interval),
         }
     }
 }
@@ -101,6 +107,56 @@ pub struct OccupancySeries {
 pub struct GoodputSeries {
     pub interval: u64,
     pub samples: Vec<u64>,
+}
+
+/// One row of the unified metrics series: every column of
+/// [`MetricsSeries::names`] sampled at the end of `cycle`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSample {
+    /// The cycle the row was sampled at (end-of-cycle).
+    pub cycle: u64,
+    /// One value per [`MetricsSeries::names`] column.
+    pub values: Vec<u64>,
+}
+
+/// Fixed-column metrics time series sampled in the cycle domain: live
+/// packets, total ITB pool flits and the 19 event counters (cumulative
+/// since the last counter reset; zero columns when the counter registry
+/// is off). The column layout is fixed so the series is deterministic
+/// regardless of which observers are enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSeries {
+    pub interval: u64,
+    pub names: Vec<String>,
+    pub samples: Vec<MetricsSample>,
+}
+
+impl MetricsSeries {
+    /// Column names of every series: the two gauges, then the 19 counters.
+    pub fn column_names() -> Vec<String> {
+        let mut names = vec!["live_packets".to_string(), "itb_pool_flits".to_string()];
+        names.extend(CounterSnapshot::NAMES.iter().map(|s| s.to_string()));
+        names
+    }
+
+    /// One JSON object per sample, e.g.
+    /// `{"cycle":4999,"live_packets":3,...}` — loadable row-by-row without
+    /// holding the whole series.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str("{\"cycle\":");
+            out.push_str(&s.cycle.to_string());
+            for (name, v) in self.names.iter().zip(&s.values) {
+                out.push_str(",\"");
+                out.push_str(name);
+                out.push_str("\":");
+                out.push_str(&v.to_string());
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
 }
 
 /// Quantile summary of one histogramed latency population (cycles).
@@ -138,6 +194,8 @@ pub struct TraceReport {
     pub lifetime: Option<LatencySummary>,
     /// ITB ejection → re-injection start, per in-transit hop.
     pub reinject_latency: Option<LatencySummary>,
+    /// Unified metrics series, present when `metrics_interval` was set.
+    pub metrics: Option<MetricsSeries>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -160,6 +218,9 @@ pub(crate) struct TraceState {
     goodput_next_flush: u64,
     goodput_acc: u64,
     goodput_samples: Vec<u64>,
+    // Unified metrics series.
+    met_next_flush: u64,
+    met_samples: Vec<MetricsSample>,
     // Latency histograms.
     lifetime: Histogram,
     reinject: Histogram,
@@ -192,6 +253,8 @@ impl TraceState {
             goodput_next_flush: opts.goodput_interval.unwrap_or(u64::MAX),
             goodput_acc: 0,
             goodput_samples: Vec::new(),
+            met_next_flush: opts.metrics_interval.unwrap_or(u64::MAX),
+            met_samples: Vec::new(),
             lifetime: Histogram::new(),
             reinject: Histogram::new(),
             reinject_pending: std::collections::HashMap::new(),
@@ -255,8 +318,17 @@ impl TraceState {
     }
 
     /// Called once per cycle from `Simulator::step` (the only per-cycle
-    /// cost; everything else is event-driven).
-    pub(crate) fn on_cycle_end(&mut self, cycle: u64, channels: &[Channel], nics: &[Nic]) {
+    /// cost; everything else is event-driven). `live_packets` is the
+    /// arena's live-packet count; `counters` is the simulator's counter
+    /// registry when enabled (snapshot only on a metrics flush).
+    pub(crate) fn on_cycle_end(
+        &mut self,
+        cycle: u64,
+        channels: &[Channel],
+        nics: &[Nic],
+        live_packets: u64,
+        counters: Option<&Counters>,
+    ) {
         if cycle + 1 >= self.util_next_flush {
             let interval = self.opts.channel_util_interval.unwrap_or(u64::MAX);
             for (i, ch) in channels.iter().enumerate() {
@@ -283,6 +355,22 @@ impl TraceState {
                 .goodput_next_flush
                 .saturating_add(self.opts.goodput_interval.unwrap_or(u64::MAX));
         }
+        if cycle + 1 >= self.met_next_flush {
+            let pool: u64 = nics.iter().map(|n| n.pool_used as u64).sum();
+            let mut values = Vec::with_capacity(2 + CounterSnapshot::NAMES.len());
+            values.push(live_packets);
+            values.push(pool);
+            match counters {
+                // Fixed column layout: zeros when the registry is off, so
+                // the series shape never depends on other observers.
+                Some(c) => values.extend(c.snapshot().as_pairs().iter().map(|&(_, v)| v)),
+                None => values.extend(std::iter::repeat_n(0, CounterSnapshot::NAMES.len())),
+            }
+            self.met_samples.push(MetricsSample { cycle, values });
+            self.met_next_flush = self
+                .met_next_flush
+                .saturating_add(self.opts.metrics_interval.unwrap_or(u64::MAX));
+        }
     }
 
     /// The earliest cycle boundary at which `on_cycle_end` will flush a
@@ -293,6 +381,7 @@ impl TraceState {
         self.util_next_flush
             .min(self.occ_next_sample)
             .min(self.goodput_next_flush)
+            .min(self.met_next_flush)
     }
 
     /// The measurement window restarted and channel busy counters were
@@ -336,6 +425,11 @@ impl TraceState {
                 .opts
                 .packet_lifetimes
                 .then(|| LatencySummary::from_histogram(&self.reinject)),
+            metrics: self.opts.metrics_interval.map(|interval| MetricsSeries {
+                interval,
+                names: MetricsSeries::column_names(),
+                samples: self.met_samples.clone(),
+            }),
         }
     }
 }
@@ -416,10 +510,39 @@ mod tests {
             if c == 150 {
                 t.on_message_delivered(c, 2, 3, 32, 0, 5);
             }
-            t.on_cycle_end(c, &[], &[]);
+            t.on_cycle_end(c, &[], &[], 0, None);
         }
         let g = t.report().goodput.unwrap();
         assert_eq!(g.interval, 100);
         assert_eq!(g.samples, vec![128, 32]);
+    }
+
+    #[test]
+    fn metrics_series_samples_on_the_interval() {
+        let mut t = TraceState::new(
+            TraceOptions {
+                metrics_interval: Some(100),
+                ..TraceOptions::default()
+            },
+            0,
+        );
+        assert_eq!(t.next_tick(), 100);
+        for c in 0..250u64 {
+            t.on_cycle_end(c, &[], &[], c, None);
+        }
+        let m = t.report().metrics.unwrap();
+        assert_eq!(m.interval, 100);
+        assert_eq!(m.names.len(), 2 + CounterSnapshot::NAMES.len());
+        assert_eq!(m.names[0], "live_packets");
+        // The flush guarded by `cycle + 1 >= next` runs during cycle 99/199.
+        assert_eq!(m.samples.len(), 2);
+        assert_eq!(m.samples[0].cycle, 99);
+        assert_eq!(m.samples[0].values[0], 99);
+        assert_eq!(m.samples[1].cycle, 199);
+        // Counter columns are present but zero when the registry is off.
+        assert!(m.samples[0].values[2..].iter().all(|&v| v == 0));
+        let jsonl = m.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"cycle\":99,\"live_packets\":99,"));
     }
 }

@@ -212,6 +212,11 @@ fn observers_do_not_perturb_the_simulation() {
             o.counters = true;
             o.events = Some(EventOptions::default());
             o.profile = true;
+            // The cycle-domain metrics sampler and occupancy probe ride
+            // the same telemetry ticks; they must be invisible too.
+            o.trace.metrics_interval = Some(500);
+            o.trace.itb_occupancy_interval = Some(750);
+            o.trace.packet_lifetimes = true;
         }
         let mut stats = exp.run_stats(0.01, &o);
         stats.counters = None;
