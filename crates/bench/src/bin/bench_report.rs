@@ -5,8 +5,10 @@
 //! event journal + per-phase profiler) — plus a scheduler-comparison
 //! column (scan vs active-set vs — at the near-idle load, where time
 //! skipping pays — the event-driven driver, ITB-RR, at a near-idle and a
-//! saturated load) and a thread-scaling column (the shard-parallel engine
-//! at 1/2/4 threads, saturated torus ITB-RR) and writes a [`BenchReport`]
+//! saturated load) and two thread-scaling columns (the shard-parallel
+//! engine at 1/2/4 threads, saturated torus ITB-RR — once fault-free and
+//! once with a live link fail/repair plan armed, since the parallel
+//! engine runs fault plans natively) and writes a [`BenchReport`]
 //! as JSON. The event-driven low-load cells are gated: the run fails if
 //! the event driver does not at least match the active set's cycles/sec
 //! there (the expected ratio is far above 1x — at load 0.0005 the mean
@@ -47,7 +49,7 @@ use regnet_bench::report::{
 use regnet_bench::{parse_flag_value, Topo};
 use regnet_campaign::{Progress, StatusBoard};
 use regnet_core::{RouteDb, RouteDbConfig, RoutingScheme};
-use regnet_netsim::{EventOptions, Scheduler, SimConfig, Simulator};
+use regnet_netsim::{EventOptions, FaultOptions, FaultPlan, Scheduler, SimConfig, Simulator};
 use regnet_topology::Topology;
 use regnet_traffic::{Pattern, PatternSpec};
 
@@ -88,7 +90,10 @@ struct CellSetup {
     pattern: Pattern,
 }
 
-/// One timed measurement window on a fresh simulator.
+/// One timed measurement window on a fresh simulator. With `faulted`, a
+/// switch link fails a quarter into the window and is repaired at three
+/// quarters, so the cell times the fault machinery (per-cycle fault
+/// phase, deferred-loss replay, retransmissions) in steady operation.
 /// Returns `(wall_ns, counter_events, phases)`.
 fn time_window(
     s: &CellSetup,
@@ -96,6 +101,7 @@ fn time_window(
     p: &MatrixParams,
     scheduler: Scheduler,
     load: f64,
+    faulted: bool,
 ) -> (u64, u64, Vec<regnet_netsim::PhaseProfile>) {
     let mut sim = Simulator::new(&s.topo, &s.db, &s.pattern, SimConfig::default(), load, SEED);
     sim.set_scheduler(scheduler);
@@ -103,6 +109,18 @@ fn time_window(
         sim.enable_counters();
         sim.enable_events(EventOptions::default());
         sim.enable_profiler();
+    }
+    if faulted {
+        let link = s
+            .topo
+            .links()
+            .iter()
+            .find(|l| l.is_switch_link())
+            .expect("switch link")
+            .id;
+        let mut plan = FaultPlan::single_link(link, p.warmup + p.measure / 4);
+        plan.repair_link(p.warmup + (3 * p.measure) / 4, link);
+        sim.enable_faults(FaultOptions::with_plan(plan));
     }
     sim.run(p.warmup);
     sim.begin_measurement();
@@ -194,9 +212,9 @@ fn main() -> ExitCode {
     // every topology, scan vs active-set at the lowest-load point and at
     // saturation, plus the event-driven driver at the lowest-load point
     // (its design regime; at saturation it degenerates to the active set
-    // with one never-taken branch). (setup index, load, scheduler), scan
-    // first per group.
-    let mut cmp_jobs: Vec<(usize, f64, Scheduler)> = setups
+    // with one never-taken branch). (setup index, load, scheduler,
+    // fault-armed), scan first per group.
+    let mut cmp_jobs: Vec<(usize, f64, Scheduler, bool)> = setups
         .iter()
         .enumerate()
         .filter(|(_, s)| s.scheme == RoutingScheme::ItbRr)
@@ -211,7 +229,7 @@ fn main() -> ExitCode {
                 } else {
                     &[Scheduler::Scan, Scheduler::ActiveSet]
                 };
-                scheds.iter().map(move |&sched| (i, load, sched))
+                scheds.iter().map(move |&sched| (i, load, sched, false))
             })
         })
         .collect();
@@ -221,11 +239,32 @@ fn main() -> ExitCode {
         .iter()
         .position(|s| s.topo_key == "torus" && s.scheme == RoutingScheme::ItbRr)
         .expect("torus/itb-rr is in the matrix");
-    // Scheduler-comparison groups come first; everything after is the
-    // thread-scaling column (used by the summary printing below).
+    // Scheduler-comparison groups come first, then the fault-free
+    // thread-scaling column, then the fault-armed one (the boundaries
+    // feed the summary printing below; fault-free cells must precede
+    // their faulted twins so pre-v5 baselines match the right rows).
     let n_schedcmp = cmp_jobs.len();
     for threads in [1usize, 2, 4] {
-        cmp_jobs.push((torus_itb_rr, SAT_LOAD, Scheduler::Parallel { threads }));
+        cmp_jobs.push((
+            torus_itb_rr,
+            SAT_LOAD,
+            Scheduler::Parallel { threads },
+            false,
+        ));
+    }
+    let n_threadscale = 3usize;
+    // Fault-armed thread-scaling: the same saturated torus with a live
+    // link fail/repair plan — the parallel engine runs fault plans
+    // natively (no active-set downgrade), so its speedup must survive
+    // with the fault phase and deferred-loss replay in the loop.
+    cmp_jobs.push((torus_itb_rr, SAT_LOAD, Scheduler::ActiveSet, true));
+    for threads in [1usize, 2, 4] {
+        cmp_jobs.push((
+            torus_itb_rr,
+            SAT_LOAD,
+            Scheduler::Parallel { threads },
+            true,
+        ));
     }
     let cmp_jobs = cmp_jobs;
 
@@ -247,15 +286,16 @@ fn main() -> ExitCode {
         for (i, setup) in setups.iter().enumerate() {
             for (j, traced) in [false, true].into_iter().enumerate() {
                 let (wall_ns, events, phases) =
-                    time_window(setup, traced, &p, Scheduler::default(), LOAD);
+                    time_window(setup, traced, &p, Scheduler::default(), LOAD, false);
                 let slot = &mut best[i * 2 + j];
                 if slot.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
                     *slot = Some((wall_ns, events, phases));
                 }
             }
         }
-        for (k, &(i, load, sched)) in cmp_jobs.iter().enumerate() {
-            let (wall_ns, events, phases) = time_window(&setups[i], false, &p, sched, load);
+        for (k, &(i, load, sched, faulted)) in cmp_jobs.iter().enumerate() {
+            let (wall_ns, events, phases) =
+                time_window(&setups[i], false, &p, sched, load, faulted);
             let slot = &mut best[n_matrix + k];
             if slot.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
                 *slot = Some((wall_ns, events, phases));
@@ -279,6 +319,7 @@ fn main() -> ExitCode {
                 scheduler: Scheduler::default().label().to_string(),
                 load: LOAD,
                 threads: None,
+                faulted: false,
                 cycles: p.measure,
                 wall_ns,
                 cycles_per_sec: p.measure as f64 / wall_s,
@@ -287,7 +328,7 @@ fn main() -> ExitCode {
             });
         }
     }
-    for (k, &(i, load, sched)) in cmp_jobs.iter().enumerate() {
+    for (k, &(i, load, sched, faulted)) in cmp_jobs.iter().enumerate() {
         let (wall_ns, events, phases) = best[n_matrix + k].take().expect("every cell ran");
         let wall_s = wall_ns as f64 / 1e9;
         cells.push(BenchCell {
@@ -297,6 +338,7 @@ fn main() -> ExitCode {
             scheduler: sched.label().to_string(),
             load,
             threads: sched.parallel_threads(),
+            faulted,
             cycles: p.measure,
             wall_ns,
             cycles_per_sec: p.measure as f64 / wall_s,
@@ -388,7 +430,8 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     println!("  parallel engine vs active-set (torus itb-rr, saturated, {cores} core(s)):");
     let mut par4_speedup = None;
-    for c in &report.cells[n_matrix + n_schedcmp..] {
+    let threadscale = n_matrix + n_schedcmp;
+    for c in &report.cells[threadscale..threadscale + n_threadscale] {
         let speedup = c.cycles_per_sec / sat_active;
         if c.threads == Some(4) {
             par4_speedup = Some(speedup);
@@ -407,6 +450,41 @@ fn main() -> ExitCode {
         let s = par4_speedup.expect("4-thread cell ran");
         if s < 2.0 {
             eprintln!("FAIL: parallel(4) speedup {s:.2}x < 2.0x on a {cores}-core host");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Fault-armed thread-scaling: the faulted active-set cell leads its
+    // column, then the faulted parallel cells. The parallel engine runs
+    // fault plans natively; at 4 executors it must keep a ≥1.5x speedup
+    // over the faulted active set (slightly below the fault-free 2x bar:
+    // the per-cycle fault phase and the loss replay are serial sections).
+    let faulted_col = &report.cells[threadscale + n_threadscale..];
+    let sat_active_faulted = faulted_col
+        .iter()
+        .find(|c| c.scheduler == "active-set" && c.faulted)
+        .expect("faulted saturated torus active-set cell")
+        .cycles_per_sec;
+    println!("  parallel engine vs active-set (torus itb-rr, saturated, fault-armed):");
+    let mut par4_faulted_speedup = None;
+    for c in faulted_col.iter().filter(|c| c.scheduler == "parallel") {
+        let speedup = c.cycles_per_sec / sat_active_faulted;
+        if c.threads == Some(4) {
+            par4_faulted_speedup = Some(speedup);
+        }
+        println!(
+            "    threads {:<2} {:>6.2}x  ({:.0} cycles/s)",
+            c.threads.unwrap_or(0),
+            speedup,
+            c.cycles_per_sec
+        );
+    }
+    if cores >= 4 {
+        let s = par4_faulted_speedup.expect("faulted 4-thread cell ran");
+        if s < 1.5 {
+            eprintln!(
+                "FAIL: fault-armed parallel(4) speedup {s:.2}x < 1.5x on a {cores}-core host"
+            );
             return ExitCode::FAILURE;
         }
     }

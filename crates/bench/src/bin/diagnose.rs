@@ -57,6 +57,7 @@ fn main() {
             profile: sim.profile_report(),
             spans: sim.span_report(),
             journal: None,
+            effective_scheduler: sim.effective_scheduler(),
         };
         match std::fs::write(path, obs.metrics_registry().to_prometheus()) {
             Ok(()) => println!("metrics exposition -> {path}"),

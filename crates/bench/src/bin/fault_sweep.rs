@@ -14,14 +14,17 @@
 //! Modes: default = quick (reduced windows), `--full` = longer windows,
 //! `--smoke` = tiny topology and windows for CI (seconds).
 //! `--topo torus|express|cplant` picks the paper topology (default torus);
-//! output file names carry the topology.
+//! output file names carry the topology. `--scheduler <label>` selects the
+//! cycle-loop engine (`scan`, `active-set`, `event`, `parallel[:N]`;
+//! default active-set) — faulted runs are bit-identical across engines,
+//! so this only changes wall-clock time.
 
-use regnet_bench::{save_curves, save_time_series, threads, Topo};
+use regnet_bench::{parse_flag_value, save_curves, save_time_series, threads, Topo};
 use regnet_campaign::{Progress, StatusBoard};
 use regnet_core::{RouteDbConfig, RoutingScheme};
 use regnet_metrics::{Curve, CurvePoint, TimeSeries};
 use regnet_netsim::experiment::{par_map, Experiment, RunOptions};
-use regnet_netsim::{FaultOptions, FaultPlan, SimConfig, TraceOptions, CYCLE_NS};
+use regnet_netsim::{FaultOptions, FaultPlan, Scheduler, SimConfig, TraceOptions, CYCLE_NS};
 use regnet_topology::{gen, LinkId, Topology};
 use regnet_traffic::PatternSpec;
 
@@ -37,6 +40,8 @@ struct Params {
     /// Goodput sampling interval, cycles.
     interval: u64,
     cfg: SimConfig,
+    /// Cycle-loop engine for every run in the sweep.
+    scheduler: Scheduler,
 }
 
 fn params() -> Params {
@@ -54,6 +59,12 @@ fn params() -> Params {
         "cplant" => || Topo::Cplant.build(),
         other => panic!("unknown --topo {other:?} (torus|express|cplant)"),
     };
+    let scheduler = match parse_flag_value(&args, "--scheduler") {
+        Some(s) => Scheduler::parse(&s).unwrap_or_else(|| {
+            panic!("unknown --scheduler {s:?} (scan|active-set|event|parallel[:N])")
+        }),
+        None => Scheduler::ActiveSet,
+    };
     if args.iter().any(|a| a == "--smoke") {
         Params {
             topo: || gen::torus_2d(4, 4, 2).expect("torus"),
@@ -69,6 +80,7 @@ fn params() -> Params {
                 reconfig_latency_cycles: 2_000,
                 ..SimConfig::default()
             },
+            scheduler,
         }
     } else if args.iter().any(|a| a == "--full") {
         Params {
@@ -80,6 +92,7 @@ fn params() -> Params {
             ks: vec![0, 1, 2, 4, 8, 16],
             interval: 5_000,
             cfg: SimConfig::default(),
+            scheduler,
         }
     } else {
         Params {
@@ -91,6 +104,7 @@ fn params() -> Params {
             ks: vec![0, 1, 2, 4, 8],
             interval: 2_500,
             cfg: SimConfig::default(),
+            scheduler,
         }
     }
 }
@@ -143,6 +157,7 @@ fn throughput_vs_failed_links(p: &Params, board: &mut StatusBoard) {
                 measure_cycles: p.measure,
                 seed: 1,
                 faults: Some(FaultOptions::with_plan(plan)),
+                scheduler: p.scheduler,
                 ..RunOptions::default()
             };
             exp.run_reliability(p.offered, &opts)
@@ -218,6 +233,7 @@ fn goodput_dip(p: &Params, board: &mut StatusBoard) {
                 ..TraceOptions::default()
             },
             faults: Some(FaultOptions::with_plan(plan)),
+            scheduler: p.scheduler,
             ..RunOptions::default()
         };
         let (_, rel, report) = exp.run_reliability(p.offered, &opts);
@@ -252,8 +268,12 @@ fn main() {
     Progress::announce(
         "fault-sweep",
         &format!(
-            "offered {:.4}, warmup {}, measure {}, ks {:?}",
-            p.offered, p.warmup, p.measure, p.ks
+            "offered {:.4}, warmup {}, measure {}, ks {:?}, scheduler {}",
+            p.offered,
+            p.warmup,
+            p.measure,
+            p.ks,
+            p.scheduler.label()
         ),
     );
     // Live status file beside the curve outputs (3 schemes × 2 figures).

@@ -126,6 +126,7 @@ fn main() {
                 profile: sim.profile_report(),
                 spans: sim.span_report(),
                 journal: None,
+                effective_scheduler: sim.effective_scheduler(),
             };
             let out = scheme_path(path, scheme);
             match std::fs::write(&out, obs.metrics_registry().to_prometheus()) {

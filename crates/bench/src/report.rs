@@ -23,10 +23,13 @@ use serde::{Deserialize, Serialize};
 /// comparison columns); v3 added the optional `threads` cell field (the
 /// shard-parallel engine's thread-scaling column); v4 added the
 /// event-driven driver's low-load comparison cells (`scheduler: "event"`)
-/// — new rows, not a layout change. [`check_against`] matches cells by
-/// their fields, so it still accepts v1–v3 baselines (and a v3 baseline
-/// simply carries no event rows to compare).
-pub const BENCH_SCHEMA: &str = "regnet-bench-v4";
+/// — new rows, not a layout change; v5 added the `faulted` cell field and
+/// the fault-armed thread-scaling rows (the parallel engine runs faulted
+/// plans natively instead of downgrading to the active set).
+/// [`check_against`] matches cells by their fields, so it still accepts
+/// v1–v4 baselines (a v4 baseline simply carries no faulted rows to
+/// compare).
+pub const BENCH_SCHEMA: &str = "regnet-bench-v5";
 
 /// Default relative-slowdown threshold for [`check_against`].
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
@@ -49,6 +52,12 @@ pub struct BenchCell {
     /// `null`) for the sequential engines. Pre-v3 baselines lack the
     /// field entirely — [`check_against`] treats both the same way.
     pub threads: Option<usize>,
+    /// Whether a fault plan was armed for the window (the fault phase and
+    /// the deferred-loss replay run every cycle). Pre-v5 baselines lack
+    /// the field; their cells match the fault-free rows, which come first
+    /// in document order ([`check_against`] reads baselines through the
+    /// permissive `JsonValue` parser, never through this derive).
+    pub faulted: bool,
     /// Measured cycles (the measurement window, warmup excluded).
     pub cycles: u64,
     /// Wall time of the measurement window, ns.
@@ -69,11 +78,12 @@ impl BenchCell {
             None => self.scheduler.clone(),
         };
         format!(
-            "{}/{}/{}/{}@{}",
+            "{}/{}/{}/{}{}@{}",
             self.topo,
             self.scheme,
             sched,
             if self.traced { "traced" } else { "plain" },
+            if self.faulted { "+faults" } else { "" },
             self.load
         )
     }
@@ -171,6 +181,7 @@ pub fn check_against(
             .get("threads")
             .and_then(|v| v.as_f64())
             .map(|t| t as usize);
+        let base_faulted = cell.get("faulted").and_then(|v| v.as_bool());
         let Some(cur) = current.cells.iter().find(|c| {
             c.topo == topo
                 && c.scheme == scheme
@@ -178,6 +189,7 @@ pub fn check_against(
                 && base_sched.is_none_or(|s| c.scheduler == s)
                 && base_load.is_none_or(|l| c.load == l)
                 && base_threads.is_none_or(|t| c.threads == Some(t))
+                && base_faulted.is_none_or(|f| c.faulted == f)
         }) else {
             continue; // baseline cell not in this run (e.g. different mode)
         };
@@ -214,6 +226,7 @@ mod tests {
             scheduler: scheduler.to_string(),
             load,
             threads: None,
+            faulted: false,
             cycles: 20_000,
             wall_ns: 1_000_000,
             cycles_per_sec: cps,
@@ -343,6 +356,52 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert!(!lines[0].regressed, "{lines:?}");
         assert!(lines[0].key.contains("active-set"), "{}", lines[0].key);
+    }
+
+    #[test]
+    fn faulted_disambiguates_cells() {
+        // A fault-armed cell and its fault-free twin share every other
+        // identity field; each must check against its own counterpart and
+        // the key must show the difference.
+        let mut base = report(1e6, 0.0);
+        base.cells = vec![
+            par_cell(4, 4e5),
+            BenchCell {
+                faulted: true,
+                ..par_cell(4, 3e5)
+            },
+        ];
+        let mut cur = base.clone();
+        cur.cells[1].cycles_per_sec = 1e5; // only the faulted cell regresses
+        let lines = check_against(&cur, &base.to_json(), 0.15).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].regressed, "{lines:?}");
+        assert!(lines[1].regressed, "{lines:?}");
+        assert!(lines[1].key.contains("+faults"), "{}", lines[1].key);
+    }
+
+    #[test]
+    fn v4_baseline_without_faulted_still_checks() {
+        // A v4 baseline cell (no faulted member) must match the
+        // fault-free cell, which a v5 report lists first.
+        let v4 = r#"{
+            "calibration_cycles_per_sec": 1e6,
+            "cells": [{"topo": "torus", "scheme": "itb-rr", "traced": false,
+                       "scheduler": "parallel", "load": 0.05, "threads": 4,
+                       "cycles_per_sec": 5e5}]
+        }"#;
+        let mut cur = report(1e6, 0.0);
+        cur.cells = vec![
+            par_cell(4, 5e5),
+            BenchCell {
+                faulted: true,
+                ..par_cell(4, 1e3)
+            },
+        ];
+        let lines = check_against(&cur, v4, 0.15).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].regressed, "{lines:?}");
+        assert!(!lines[0].key.contains("+faults"), "{}", lines[0].key);
     }
 
     #[test]

@@ -223,6 +223,15 @@ pub fn run_cell(spec: &CellSpec) -> Result<CellResult, String> {
     let started = Instant::now();
     let obs = exp.run_observed(spec.load, &opts);
     let wall_ms = started.elapsed().as_millis() as u64;
+    // The cell key records the requested scheduler; a checkpoint whose
+    // label does not match the engine that actually ran would poison
+    // resumed campaigns with mislabelled results.
+    assert_eq!(
+        obs.effective_scheduler.label(),
+        spec.scheduler.label(),
+        "cell {}: engine substituted a different scheduler",
+        spec.canonical_key()
+    );
     let n_switches = exp.topology().num_switches();
     let accepted = obs.stats.accepted_flits_per_ns_per_switch(n_switches);
     // Switch-link utilization summary (the paper's Figures 8/9/11 view).
@@ -324,6 +333,30 @@ mod tests {
         let text = r.to_json_string();
         let back = CellResult::from_json_str(&text).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn faulty_parallel_cell_matches_active_set() {
+        // Regression: faulted Parallel cells used to silently run on the
+        // active-set engine. The label assertion in `run_cell` now fires
+        // on any substitution, and the results must be bit-identical to
+        // the active-set cell (same key modulo scheduler, so compare
+        // field by field rather than via `same_results`).
+        let mut reference = tiny_cell();
+        reference.faults = Some(FaultSpec::parse("one-link", "fail_link:3@6000").unwrap());
+        let mut parallel = reference.clone();
+        parallel.scheduler = Scheduler::Parallel { threads: 4 };
+        let a = run_cell(&reference).unwrap();
+        let p = run_cell(&parallel).unwrap();
+        assert_eq!(p.reliability.link_failures, 1);
+        assert_eq!(a.digest, p.digest);
+        assert_eq!(a.digest_events, p.digest_events);
+        assert_eq!(a.reliability, p.reliability);
+        assert_eq!(a.delivered, p.delivered);
+        assert_eq!(a.generated, p.generated);
+        assert_eq!(a.accepted, p.accepted);
+        assert_eq!(a.avg_latency_ns, p.avg_latency_ns);
+        assert_eq!(a.goodput, p.goodput);
     }
 
     #[test]

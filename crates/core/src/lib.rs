@@ -49,5 +49,5 @@ mod scheme;
 mod split;
 
 pub use journey::{Journey, JourneyTemplate, Segment, SegmentEnd};
-pub use scheme::{PathSelector, RouteDb, RouteDbConfig, RoutingScheme};
+pub use scheme::{PathSelector, RouteDb, RouteDbConfig, RoutingScheme, SrcSelector};
 pub use split::{split_minimal_path, try_split_minimal_path, ItbHostPicker};

@@ -98,38 +98,70 @@ impl Default for RouteDbConfig {
     }
 }
 
-/// Per-pair round-robin state for the ITB-RR policy.
+/// Path-selection state owned by one *source* host.
 ///
-/// The paper round-robins "from all the alternative minimal paths" per
-/// source-destination pair; we keep one counter per ordered *host* pair.
+/// Selection state is sharded by source so that engines which process
+/// hosts on different threads can each mutate their own sources' state
+/// without sharing: every selection a host makes reads and writes only
+/// its own `SrcSelector`.
 #[derive(Debug, Clone)]
-pub struct PathSelector {
-    n_hosts: usize,
+pub struct SrcSelector {
+    /// ITB-RR: one round-robin counter per destination.
     rr: Vec<u8>,
+    /// ITB-RND: this source's seeded stream.
     rng: rand::rngs::SmallRng,
 }
 
-impl PathSelector {
-    fn new(n_hosts: usize) -> PathSelector {
+impl SrcSelector {
+    fn new(src: usize, n_hosts: usize) -> SrcSelector {
         // Stagger the starting alternative per pair. If every pair started
         // at index 0, sparse traffic (few messages per pair) would collapse
         // round-robin into "everyone picks the first alternative", which is
         // lexicographically correlated across pairs and unbalances links.
-        let rr = (0..n_hosts * n_hosts)
-            .map(|i| (fxhash(i as u64, 0x5157) & 0xFF) as u8)
+        let rr = (0..n_hosts)
+            .map(|d| (fxhash((src * n_hosts + d) as u64, 0x5157) & 0xFF) as u8)
             .collect();
-        PathSelector {
-            n_hosts,
+        SrcSelector {
             rr,
-            rng: rand::SeedableRng::seed_from_u64(0x5E1EC7),
+            rng: rand::SeedableRng::seed_from_u64(fxhash(0x5E1EC7, src as u64)),
         }
     }
 
-    fn next(&mut self, src: HostId, dst: HostId, n_alts: usize) -> usize {
-        let slot = &mut self.rr[src.idx() * self.n_hosts + dst.idx()];
+    fn next(&mut self, dst: HostId, n_alts: usize) -> usize {
+        let slot = &mut self.rr[dst.idx()];
         let pick = *slot as usize % n_alts;
         *slot = slot.wrapping_add(1);
         pick
+    }
+}
+
+/// Per-pair round-robin state for the ITB-RR policy.
+///
+/// The paper round-robins "from all the alternative minimal paths" per
+/// source-destination pair; we keep one counter per ordered *host* pair,
+/// grouped per source host (see [`SrcSelector`]).
+#[derive(Debug, Clone)]
+pub struct PathSelector {
+    per_src: Vec<SrcSelector>,
+}
+
+impl PathSelector {
+    fn new(n_hosts: usize) -> PathSelector {
+        PathSelector {
+            per_src: (0..n_hosts).map(|s| SrcSelector::new(s, n_hosts)).collect(),
+        }
+    }
+
+    /// The selection state of one source host.
+    pub fn src_mut(&mut self, src: HostId) -> &mut SrcSelector {
+        &mut self.per_src[src.idx()]
+    }
+
+    /// All per-source selection states, indexed by source host. The
+    /// parallel engine uses this to hand each shard raw access to the
+    /// selectors of the hosts it owns.
+    pub fn per_src_mut(&mut self) -> &mut [SrcSelector] {
+        &mut self.per_src
     }
 }
 
@@ -301,13 +333,27 @@ impl RouteDb {
         dst: HostId,
         selector: &mut PathSelector,
     ) -> Journey {
+        self.select_from(topo, src, dst, selector.src_mut(src))
+    }
+
+    /// [`select`](RouteDb::select), given only the source host's own
+    /// selection state. This is the form the parallel engine calls: each
+    /// shard holds the `SrcSelector`s of exactly the hosts it owns, so
+    /// re-selection after a fault never touches another shard's state.
+    pub fn select_from(
+        &self,
+        topo: &Topology,
+        src: HostId,
+        dst: HostId,
+        selector: &mut SrcSelector,
+    ) -> Journey {
         let (ss, ds) = (topo.host_switch(src), topo.host_switch(dst));
         let alts = self.alternatives(ss, ds);
         let idx = match self.scheme {
             RoutingScheme::UpDown => 0,
             // Fixed per pair, but spread across pairs.
             RoutingScheme::ItbSp => (fxhash(src.0 as u64, dst.0 as u64) as usize) % alts.len(),
-            RoutingScheme::ItbRr => selector.next(src, dst, alts.len()),
+            RoutingScheme::ItbRr => selector.next(dst, alts.len()),
             RoutingScheme::ItbRandom => rand::Rng::gen_range(&mut selector.rng, 0..alts.len()),
         };
         alts[idx].materialise(src, dst, topo.host_port(dst))

@@ -199,8 +199,9 @@ impl Channel {
 /// data sender writes `data` while the receiving in-port's shard writes
 /// `ctl`/`ctl_written_at`. These helpers therefore never materialize a
 /// `&mut Channel`; each accesses only the fields named in its body
-/// (`sender`, `receiver`, `delay` and `dead` are read-only during a
-/// fault-free run). Keep them in lockstep with the methods above.
+/// (`sender`, `receiver` and `delay` are immutable; `dead` mutates only
+/// in the fault phase, which runs on the main thread with the workers
+/// parked). Keep them in lockstep with the methods above.
 pub(crate) mod raw {
     use super::{Channel, CTL_NONE};
     use crate::packet::NO_PACKET;
@@ -233,6 +234,14 @@ pub(crate) mod raw {
         let s = slot(c, cycle);
         debug_assert_eq!((*c).data[s], NO_PACKET, "channel slot collision");
         (*c).data[s] = packet;
+    }
+
+    /// Mirror of [`Channel::is_dead`]. `dead` only changes in the fault
+    /// phase (main thread, workers parked), so reading it from a region
+    /// is race-free.
+    #[inline]
+    pub(crate) unsafe fn is_dead(c: *const Channel) -> bool {
+        (*c).dead
     }
 
     /// Mirror of [`Channel::take_ctl_arrival`].

@@ -76,6 +76,11 @@ pub struct RunObservation {
     /// Hierarchical view of `profile` (phase → shard → component bucket).
     pub spans: Option<SpanReport>,
     pub journal: Option<Box<EventJournal>>,
+    /// The cycle-loop driver that actually ran
+    /// ([`Simulator::effective_scheduler`]). Always equals
+    /// `RunOptions::scheduler`; recorded so result writers can assert the
+    /// label they store matches the engine that produced the numbers.
+    pub effective_scheduler: Scheduler,
 }
 
 impl RunObservation {
@@ -393,6 +398,7 @@ impl Experiment {
     /// `begin_measurement` — covers exactly the measurement window.
     pub fn run_observed(&self, offered: f64, opts: &RunOptions) -> RunObservation {
         let mut sim = self.make_sim(offered, opts);
+        let effective_scheduler = sim.effective_scheduler();
         sim.run(opts.warmup_cycles);
         sim.begin_measurement();
         sim.run(opts.measure_cycles);
@@ -404,6 +410,7 @@ impl Experiment {
             profile: sim.profile_report(),
             spans: sim.span_report(),
             journal: sim.take_journal(),
+            effective_scheduler,
         }
     }
 

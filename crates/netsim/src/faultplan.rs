@@ -14,10 +14,17 @@
 //! symbols and hands arrivals/grants to components the active-set
 //! scheduler may have retired as quiescent, so every mutation the fault
 //! phase makes re-registers the affected channels, switches and NICs
-//! with the crate-private `ActiveSched` — including *same
-//! cycle* (phase 0) ctl deliveries, which the tagless wake wheel handles
-//! because all channels share one delay. `tests/scheduler_equivalence.rs`
-//! pins scan-vs-active-set equality under a fault plan.
+//! with the scheduler — including *same cycle* (phase 0) ctl deliveries,
+//! which the tagless wake wheel handles because all channels share one
+//! delay. Exactly two hook sites exist (the purge's ctl fix-up and the
+//! retransmission wake-up), and both dispatch through the simulator's
+//! `sched_note_ctl`/`sched_wake_nic_at` helpers, which route either to
+//! the sequential `ActiveSched` or to the owning shard's scheduler when
+//! the shard-parallel engine is installed — fault plans run natively on
+//! every engine, and mid-cycle losses are deferred to a deterministic
+//! replay point after NIC tx (see `par.rs` `# Faults`).
+//! `tests/scheduler_equivalence.rs` pins cross-engine equality under a
+//! fault plan on every paper topology × scheme.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

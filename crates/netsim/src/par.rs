@@ -62,11 +62,33 @@
 //!
 //! # Faults
 //!
-//! Fault injection performs mid-cycle global purges (a worm truncation
-//! walks every channel of the path, and control fix-ups cross shard
-//! boundaries mid-phase), which is inherently cross-shard work. Arming
-//! faults therefore falls back to the sequential `ActiveSet` engine — see
-//! `Simulator::enable_faults` — instead of silently racing.
+//! Fault injection runs shard-parallel and stays bit-identical to the
+//! sequential engines. The cross-shard pieces of the fault machinery are
+//! confined to the main thread; the work splits by phase:
+//!
+//! * **Phase 0** (main thread, workers parked, before region A) — fault
+//!   events fire, their victims are purged globally and reconfiguration
+//!   advances, exactly as in the sequential engines. Purge control
+//!   fix-ups and retransmission timers route their wakes to the owner
+//!   shard's scheduler (`Simulator::sched_note_ctl` /
+//!   `sched_wake_nic_at`).
+//! * **Regions** — the mirrors below carry the same fault branches as
+//!   their sequential counterparts: dead-switch skip, dead-output
+//!   detection at routing, the dead-cable transfer gate, the
+//!   reconfiguration source freeze, and the per-packet routability check
+//!   with journey re-selection. All fault state read in-region
+//!   (`FaultSet`, `host_ok`, the installed tables) only mutates in phase
+//!   0, and path-selection state is sharded per source host
+//!   ([`regnet_core::SrcSelector`]), so nothing here crosses a shard.
+//! * **Loss phase** (main thread, after the fold) — mid-cycle worm
+//!   truncations and source drops are *never* applied in-region, in any
+//!   engine: the switch/NIC phases record `(component, packet)` pairs
+//!   ([`ShardState::sw_loss`] / [`ShardState::nic_drop`] here, the
+//!   simulator's pending lists sequentially) and `Simulator::loss_phase`
+//!   replays them stably sorted by component index after NIC
+//!   transmission. The packet/message arenas therefore mutate in the
+//!   same within-cycle order — deliveries, then losses, then generation
+//!   — under every scheduler, keeping free-list reuse bit-identical.
 //!
 //! # Safety model
 //!
@@ -98,13 +120,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use regnet_core::SegmentEnd;
-use regnet_topology::Topology;
+use regnet_core::{RouteDb, SegmentEnd, SrcSelector};
+use regnet_topology::{SwitchId, Topology};
 
 use crate::channel::{self, Channel, Receiver, Sender, CTL_NONE, CTL_STOP};
 use crate::config::SimConfig;
 use crate::counters::Counters;
 use crate::events::{BlockCause, EventKind, NO_PACKET};
+use crate::faultplan::FaultRuntime;
 use crate::nic::{Nic, RxState, TxKind, TxState};
 use crate::packet::{self, Packet};
 use crate::partition::ShardPlan;
@@ -294,6 +317,12 @@ pub(crate) struct ShardState {
     pub(crate) arr_fx: Vec<(u32, ArrFx)>,
     pub(crate) sw_fx: Vec<(u32, u32, EventKind)>,
     pub(crate) nic_fx: Vec<(u32, NicFx)>,
+    /// Worms routed into a dead output this cycle `(switch, packet)`;
+    /// truncated by `Simulator::loss_phase` after the fold.
+    pub(crate) sw_loss: Vec<(u32, u32)>,
+    /// Unroutable packets skipped at their source NIC `(host, packet)`;
+    /// dropped by `Simulator::loss_phase` after the fold.
+    pub(crate) nic_drop: Vec<(u32, u32)>,
     /// Per-shard span wall time this cycle, ns: ctl deliveries, data
     /// arrivals (region A), switch advance, NIC transmit (region B).
     /// Written only when `ParCtx::prof_on`; drained by `step_parallel`.
@@ -315,6 +344,8 @@ impl ShardState {
             arr_fx: Vec::new(),
             sw_fx: Vec::new(),
             nic_fx: Vec::new(),
+            sw_loss: Vec::new(),
+            nic_drop: Vec::new(),
             span_ns: [0; 4],
         }
     }
@@ -417,6 +448,25 @@ pub(crate) struct ParCtx {
     pub(crate) data_owner: *const u32,
     pub(crate) ctl_owner: *const u32,
     pub(crate) cfg: *const SimConfig,
+    pub(crate) topo: *const Topology,
+    /// Faults armed. When false, `faults` is null and every fault branch
+    /// below is dead.
+    pub(crate) faults_on: bool,
+    /// Read-only in-region: `FaultSet`/`host_ok`/`reconfig_due` and the
+    /// installed tables only mutate in phase 0 (main thread, workers
+    /// parked). Null when `faults_on` is false.
+    pub(crate) faults: *const FaultRuntime,
+    /// The table fresh/retransmitted packets route from: the
+    /// reconfigured tables once installed, the build-time `RouteDb`
+    /// otherwise. Always valid.
+    pub(crate) eff_db: *const RouteDb,
+    /// Reconfigured tables are installed: re-select journeys at the
+    /// source NIC (mirror of the sequential `f.routes.is_some()` branch).
+    pub(crate) reselect: bool,
+    /// Per-source path-selection state, indexed by host. A shard only
+    /// touches the entries of hosts it owns, so selection is race-free
+    /// and draws the same per-source sequence as the sequential engines.
+    pub(crate) selectors: *mut SrcSelector,
     pub(crate) cycle: u64,
     pub(crate) measure_on: bool,
     /// Counters or journal enabled: compute block-cause diagnostics.
@@ -741,10 +791,15 @@ unsafe fn emit_ctl_region_b(ctx: &ParCtx, sh: &mut ShardState, s: usize, ci: u32
     }
 }
 
-/// Mirror of `Simulator::switch_phase` with the fault branches stripped
-/// (the parallel engine never runs with faults armed).
+/// Mirror of `Simulator::switch_phase`, fault branches included; losses
+/// are recorded in `ShardState::sw_loss` for the deferred loss phase.
 unsafe fn switch_phase(ctx: &ParCtx, sh: &mut ShardState, s_shard: usize, s: usize, cycle: u64) {
     let cfg = &*ctx.cfg;
+    // A dead switch routes nothing (its resident packets were purged
+    // when it failed).
+    if ctx.faults_on && !(*ctx.faults).active.is_switch_alive(SwitchId(s as u32)) {
+        return;
+    }
     let sw = &mut *ctx.switches.add(s);
     let nports = sw.active_ports.len();
 
@@ -765,6 +820,22 @@ unsafe fn switch_phase(ctx: &ParCtx, sh: &mut ShardState, s_shard: usize, s: usi
                         if let Some(ctl) = inp.on_flit_out(cfg) {
                             let chan = inp.in_chan;
                             emit_ctl_region_b(ctx, sh, s_shard, chan, ctl);
+                        }
+                        if ctx.faults_on {
+                            // Routing towards a dead cable (or a port that
+                            // never existed in a stale route): the worm is
+                            // lost. Truncation is deferred to the loss
+                            // phase (see `Simulator::loss_phase`).
+                            let dead_out = match sw.outp.get(out as usize).and_then(|o| o.as_ref())
+                            {
+                                Some(o) => {
+                                    channel::raw::is_dead(ctx.channels.add(o.out_chan as usize))
+                                }
+                                None => true,
+                            };
+                            if dead_out {
+                                sh.sw_loss.push((s as u32, pid));
+                            }
                         }
                         sh.counters.route_lookups += 1;
                         if ctx.journal_on {
@@ -873,6 +944,11 @@ unsafe fn switch_phase(ctx: &ParCtx, sh: &mut ShardState, s_shard: usize, s: usi
             continue;
         }
         let out_chan = outp.out_chan;
+        if ctx.faults_on && channel::raw::is_dead(ctx.channels.add(out_chan as usize)) {
+            // The granted head is already queued for loss handling;
+            // never stream flits into a dead cable.
+            continue;
+        }
         let inp = sw.inp[g as usize].as_mut().unwrap();
         let head = inp.queue.front_mut().expect("granted without head");
         if head.available() == 0 {
@@ -901,14 +977,57 @@ unsafe fn switch_phase(ctx: &ParCtx, sh: &mut ShardState, s_shard: usize, s: usi
     }
 }
 
-/// Mirror of `Simulator::nic_tx` with the fault branches stripped. A NIC's
-/// access channel always stays intra-shard (the NIC lives in its host
-/// switch's shard), so the data note is direct.
+/// Mirror of `Simulator::nic_tx`, fault branches included; unroutable
+/// packets are recorded in `ShardState::nic_drop` for the deferred loss
+/// phase. A NIC's access channel always stays intra-shard (the NIC lives
+/// in its host switch's shard), so the data note is direct.
 unsafe fn nic_tx(ctx: &ParCtx, sh: &mut ShardState, _s_shard: usize, h: usize, cycle: u64) {
     let cfg = &*ctx.cfg;
     let nic = &mut *ctx.nics.add(h);
+    if ctx.faults_on {
+        let f = &*ctx.faults;
+        // Sources freeze while the mapper redistributes routes; the
+        // transmission already in progress may finish.
+        if f.reconfig_due.is_some() && nic.tx.is_none() {
+            return;
+        }
+        // A NIC on a dead host link cannot move flits at all.
+        if channel::raw::is_dead(ctx.channels.add(nic.out_chan as usize)) {
+            return;
+        }
+    }
     if nic.tx.is_none() {
-        if let Some((pid, kind)) = nic.pick_next_tx(cycle, cfg.itb_priority) {
+        while let Some((pid, kind)) = nic.pick_next_tx(cycle, cfg.itb_priority) {
+            // Fresh and retransmitted packets route from scratch: under
+            // faults, re-validate the pair and — once a rebuild has been
+            // installed — re-select the journey from the current tables
+            // (in-transit packets keep their remaining route).
+            if ctx.faults_on && kind != TxKind::Reinject {
+                let f = &*ctx.faults;
+                let topo = &*ctx.topo;
+                let db = &*ctx.eff_db;
+                let pkt = pkt_ptr(ctx, pid);
+                let (src, dst) = ((*pkt).journey.src, (*pkt).journey.dst);
+                let routable = f.host_ok[src.idx()]
+                    && f.host_ok[dst.idx()]
+                    && db.has_route(topo.host_switch(src), topo.host_switch(dst));
+                if !routable {
+                    // Skip it now (the NIC still transmits the next
+                    // routable packet this cycle); the drop bookkeeping
+                    // runs in the loss phase.
+                    sh.nic_drop.push((h as u32, pid));
+                    continue;
+                }
+                if ctx.reselect {
+                    // `src` is this NIC's host, so the selector entry is
+                    // shard-owned.
+                    let journey =
+                        db.select_from(topo, src, dst, &mut *ctx.selectors.add(src.idx()));
+                    (*pkt).journey = journey;
+                    (*pkt).seg = 0;
+                    (*pkt).hop = 0;
+                }
+            }
             let total = packet::raw::wire_len_current_segment(pkt_ptr(ctx, pid));
             nic.tx = Some(TxState {
                 pid,
@@ -916,6 +1035,7 @@ unsafe fn nic_tx(ctx: &ParCtx, sh: &mut ShardState, _s_shard: usize, h: usize, c
                 total,
                 reinjection: kind == TxKind::Reinject,
             });
+            break;
         }
     }
     let Some(tx) = nic.tx else { return };

@@ -58,9 +58,9 @@ pub enum Scheduler {
     /// Bit-identical to the sequential engines for any `threads`; the
     /// shard count (and therefore every result) is `threads` alone, while
     /// the live OS-thread count is capped at the host's parallelism.
-    /// Requires a fault-free run: arming faults falls back to
-    /// [`Scheduler::ActiveSet`] (mid-cycle global purges are inherently
-    /// cross-shard).
+    /// Fault plans run natively: the fault phase executes on the main
+    /// thread with the workers parked, and mid-cycle losses are replayed
+    /// at a deterministic point after NIC tx (see `par.rs` `# Faults`).
     Parallel {
         /// Shard count; `0` means "auto" ([`crate::threads::threads`]).
         threads: usize,

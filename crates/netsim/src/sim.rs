@@ -212,6 +212,14 @@ pub struct Simulator<'a> {
     par: Option<Box<ParEngine>>,
     /// Directed channel indices per physical link (both directions).
     link_chans: Vec<[u32; 2]>,
+    /// Worms that hit a dead output this cycle, as `(switch, packet)`;
+    /// truncated in the loss phase after NIC transmission so every engine
+    /// mutates the arenas in the same order (see `loss_phase`).
+    pending_sw_loss: Vec<(u32, u32)>,
+    /// Packets that became unroutable at their source NIC this cycle, as
+    /// `(host, packet)`; dropped in the loss phase alongside the worm
+    /// truncations.
+    pending_nic_drop: Vec<(u32, u32)>,
     /// `stop_generation` was called: never restart generators, even when a
     /// repaired host comes back.
     gen_frozen: bool,
@@ -360,6 +368,8 @@ impl<'a> Simulator<'a> {
             sched: None,
             par: None,
             link_chans,
+            pending_sw_loss: Vec::new(),
+            pending_nic_drop: Vec::new(),
             gen_frozen: false,
             time_skip: false,
             skipped_cycles: 0,
@@ -391,21 +401,15 @@ impl<'a> Simulator<'a> {
             }
             Scheduler::Parallel { .. } => {
                 let threads = s.parallel_threads().unwrap();
-                if self.faults.is_some() {
-                    // Faults perform mid-cycle global purges — inherently
-                    // cross-shard. Fall back to the sequential active set.
-                    Some(Box::new(self.new_active_sched()))
-                } else {
-                    self.par = Some(Box::new(ParEngine::new(
-                        self.topo,
-                        threads,
-                        self.cfg.link_delay_cycles,
-                        &self.channels,
-                        self.switches.len(),
-                        self.nics.len(),
-                    )));
-                    None
-                }
+                self.par = Some(Box::new(ParEngine::new(
+                    self.topo,
+                    threads,
+                    self.cfg.link_delay_cycles,
+                    &self.channels,
+                    self.switches.len(),
+                    self.nics.len(),
+                )));
+                None
             }
         };
     }
@@ -433,6 +437,14 @@ impl<'a> Simulator<'a> {
         } else {
             Scheduler::Scan
         }
+    }
+
+    /// The cycle-loop driver that actually runs the simulation. No code
+    /// path substitutes a different engine than the one requested, so this
+    /// always equals the `set_scheduler` argument; it exists so result
+    /// records can *assert* that, instead of trusting the requested label.
+    pub fn effective_scheduler(&self) -> Scheduler {
+        self.scheduler()
     }
 
     /// Enable the unified counter registry. Counting from this point on;
@@ -485,14 +497,6 @@ impl<'a> Simulator<'a> {
     /// Call before running; events earlier than the current cycle fire
     /// immediately on the next step.
     pub fn enable_faults(&mut self, opts: FaultOptions) {
-        if self.par.is_some() {
-            // The parallel engine does not support faults (mid-cycle global
-            // purges are cross-shard); fall back to the sequential active
-            // set, which is bit-identical anyway.
-            assert_eq!(self.cycle, 0, "faults must be armed before running");
-            self.par = None;
-            self.sched = Some(Box::new(self.new_active_sched()));
-        }
         self.faults = Some(Box::new(FaultRuntime::new(opts, self.topo.num_hosts())));
     }
 
@@ -753,7 +757,7 @@ impl<'a> Simulator<'a> {
             self.step_profiled();
         } else {
             let cycle = self.cycle;
-            // ---- Phase 0: fault events, loss handling, reconfig. ----
+            // ---- Phase 0: fault events, purges, reconfig. ----
             if self.faults.is_some() {
                 self.fault_phase(cycle);
             }
@@ -761,6 +765,10 @@ impl<'a> Simulator<'a> {
             self.arrival_phase(cycle);
             self.switches_phase(cycle, None);
             self.nic_tx_phase(cycle);
+            // ---- Phase 6: deferred mid-cycle losses (faulted runs). ----
+            if self.faults.is_some() {
+                self.loss_phase(cycle);
+            }
             self.gen_phase(cycle);
             self.observer_phase(cycle, None);
         }
@@ -798,6 +806,10 @@ impl<'a> Simulator<'a> {
         prof.add_child(Phase::Switches, NO_SHARD, "crossbar", sw_timing.1);
         self.nic_tx_phase(cycle);
         lap(&mut prof, Phase::NicTx);
+        if self.faults.is_some() {
+            self.loss_phase(cycle);
+        }
+        lap(&mut prof, Phase::Faults);
         self.gen_phase(cycle);
         lap(&mut prof, Phase::Generation);
         let mut trace_ns = 0u64;
@@ -812,6 +824,23 @@ impl<'a> Simulator<'a> {
     /// `crate::par` for the safety argument). Rebuilt per region, so no
     /// pointer survives a main-thread barrier mutation.
     fn par_ctx(&mut self, pe: &mut ParEngine, cycle: u64) -> ParCtx {
+        // Fault state is read-only while workers run: the fault phase — the
+        // only mutator of `FaultSet` / `host_ok` / the installed routes —
+        // runs on the main thread before region A.
+        let (faults_on, faults, eff_db, reselect) = match self.faults.as_deref() {
+            Some(f) => (
+                true,
+                f as *const FaultRuntime,
+                f.routes.as_ref().map(|r| &r.db).unwrap_or(self.db) as *const RouteDb,
+                f.routes.is_some(),
+            ),
+            None => (
+                false,
+                std::ptr::null::<FaultRuntime>(),
+                self.db as *const RouteDb,
+                false,
+            ),
+        };
         ParCtx {
             channels: self.channels.as_mut_ptr(),
             switches: self.switches.as_mut_ptr(),
@@ -824,6 +853,12 @@ impl<'a> Simulator<'a> {
             data_owner: pe.data_owner.as_ptr(),
             ctl_owner: pe.ctl_owner.as_ptr(),
             cfg: &self.cfg,
+            topo: self.topo,
+            faults_on,
+            faults,
+            eff_db,
+            reselect,
+            selectors: self.selector.per_src_mut().as_mut_ptr(),
             cycle,
             measure_on: self.measure.on,
             diag: self.counters.is_some() || self.journal.is_some(),
@@ -852,6 +887,17 @@ impl<'a> Simulator<'a> {
         // Shard-level spans below the two regions come from the workers'
         // own `span_ns` accumulators, drained after region B.
         let mut mark = prof.as_ref().map(|_| Instant::now());
+
+        // ---- Phase 0: fault events, purges, reconfig — main thread,
+        // workers parked. Purges route their control fix-ups and wakes to
+        // the owner shards (see `sched_note_ctl` / `sched_wake_nic_at`);
+        // the engine is put back first so those helpers can reach it.
+        if self.faults.is_some() {
+            self.par = Some(pe);
+            self.fault_phase(cycle);
+            pe = self.par.take().expect("fault phase consumed the engine");
+        }
+        lap_par(&mut prof, &mut mark, Phase::Faults);
 
         {
             let mut ctx = self.par_ctx(&mut pe, cycle);
@@ -903,9 +949,14 @@ impl<'a> Simulator<'a> {
         self.fold_parallel(&mut pe, cycle);
         lap_par(&mut prof, &mut mark, Phase::NicTx);
 
-        // Generation needs the engine back in place: `create_message`
-        // activates the source NIC in its shard's scheduler.
+        // The engine goes back in place before the loss phase: purges and
+        // retransmission timers route their wakes to the shard schedulers,
+        // and `create_message` activates source NICs in theirs.
         self.par = Some(pe);
+        if self.faults.is_some() {
+            self.loss_phase(cycle);
+        }
+        lap_par(&mut prof, &mut mark, Phase::Faults);
         self.gen_phase(cycle);
         lap_par(&mut prof, &mut mark, Phase::Generation);
         let mut trace_ns = 0u64;
@@ -1012,6 +1063,14 @@ impl<'a> Simulator<'a> {
             }
         }
         pe.merged_nic = nic_fx;
+
+        // Deferred losses: collect the shards' records into the engine-
+        // shared pending lists; `loss_phase` sorts and replays them after
+        // the fold, exactly where the sequential engines do.
+        for sh in &mut pe.shards {
+            self.pending_sw_loss.append(&mut sh.sw_loss);
+            self.pending_nic_drop.append(&mut sh.nic_drop);
+        }
 
         // Order-free folds: counters are sums, the measurement deltas are
         // sums/maxes, activity is an "any shard moved something" flag.
@@ -1268,9 +1327,6 @@ impl<'a> Simulator<'a> {
         {
             return;
         }
-        // Packets routed into a failed output this cycle; their loss is
-        // handled after the port loops release the switch borrow.
-        let mut lost: Vec<u32> = Vec::new();
         let cfg = &self.cfg;
         let sw = &mut self.switches[s];
         let nports = sw.active_ports.len();
@@ -1302,14 +1358,15 @@ impl<'a> Simulator<'a> {
                             if faults_on {
                                 // Routing towards a dead cable (or a port
                                 // that never existed in a stale route):
-                                // the worm is lost here.
+                                // the worm is lost. Truncation is deferred
+                                // to the loss phase (see `loss_phase`).
                                 let dead_out =
                                     match sw.outp.get(out as usize).and_then(|o| o.as_ref()) {
                                         Some(o) => self.channels[o.out_chan as usize].is_dead(),
                                         None => true,
                                     };
                                 if dead_out {
-                                    lost.push(pid);
+                                    self.pending_sw_loss.push((s as u32, pid));
                                 }
                             }
                             if let Some(c) = &mut self.counters {
@@ -1475,10 +1532,6 @@ impl<'a> Simulator<'a> {
         }
         if let (Some(t), Some(m)) = (timing, mark) {
             t.1 += m.elapsed().as_nanos() as u64;
-        }
-
-        for pid in lost {
-            self.handle_loss(pid, cycle);
         }
     }
 
@@ -1665,7 +1718,10 @@ impl<'a> Simulator<'a> {
                             && f.host_ok[dst.idx()]
                             && db.has_route(self.topo.host_switch(src), self.topo.host_switch(dst));
                         if !routable {
-                            self.drop_packet(pid, cycle);
+                            // Skip it now (the NIC still transmits the next
+                            // routable packet this cycle); the drop
+                            // bookkeeping runs in the loss phase.
+                            self.pending_nic_drop.push((h as u32, pid));
                             continue;
                         }
                         if f.routes.is_some() {
@@ -1935,7 +1991,59 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    // ---- Fault machinery (phase 0). ----
+    // ---- Fault machinery (phases 0 and 6). ----
+
+    /// Route a control-wake to whichever scheduler drives the loop: the
+    /// sequential active set, or the owner shard's set under the parallel
+    /// engine. Fault handling runs on the main thread with the workers
+    /// parked, so the shard schedulers are safely reachable.
+    fn sched_note_ctl(&mut self, cycle: u64, ci: u32) {
+        if let Some(sc) = self.sched.as_deref_mut() {
+            sc.note_ctl(cycle, ci);
+        } else if let Some(pe) = self.par.as_deref_mut() {
+            let owner = pe.ctl_owner[ci as usize] as usize;
+            pe.shards[owner].sched.note_ctl(cycle, ci);
+        }
+    }
+
+    /// Route a timed NIC wake-up (retransmission timer) to the driving
+    /// scheduler — under the parallel engine, the shard that owns the NIC.
+    fn sched_wake_nic_at(&mut self, due: u64, host: u32) {
+        if let Some(sc) = self.sched.as_deref_mut() {
+            sc.wake_nic_at(due, host);
+        } else if let Some(pe) = self.par.as_deref_mut() {
+            let shard = pe.plan.nic_shard(host as usize);
+            pe.shards[shard].sched.wake_nic_at(due, host);
+        }
+    }
+
+    /// Phase 6, faulted runs only: replay this cycle's deferred losses.
+    /// The switch and NIC phases never truncate or drop in place — they
+    /// record `(component, packet)` pairs — and this phase replays the
+    /// records sorted (stably) by component index. Every engine therefore
+    /// mutates the packet/message arenas in the same within-cycle order —
+    /// deliveries in channel order, then switch truncations in switch
+    /// order, then source drops in NIC order, then generation — which is
+    /// what keeps free-list reuse, and with it every downstream id, bit-
+    /// identical between the sequential engines and the parallel fold.
+    fn loss_phase(&mut self, cycle: u64) {
+        if !self.pending_sw_loss.is_empty() {
+            let mut lost = std::mem::take(&mut self.pending_sw_loss);
+            lost.sort_by_key(|&(s, _)| s);
+            for (_, pid) in lost.drain(..) {
+                self.handle_loss(pid, cycle);
+            }
+            self.pending_sw_loss = lost;
+        }
+        if !self.pending_nic_drop.is_empty() {
+            let mut dropped = std::mem::take(&mut self.pending_nic_drop);
+            dropped.sort_by_key(|&(h, _)| h);
+            for (_, pid) in dropped.drain(..) {
+                self.drop_packet(pid, cycle);
+            }
+            self.pending_nic_drop = dropped;
+        }
+    }
 
     /// Apply every fault event due at `cycle`, purge the truncated worms,
     /// and drive the pending reconfiguration if one is in flight.
@@ -2288,9 +2396,7 @@ impl<'a> Simulator<'a> {
             pkt.inject_cycle = u64::MAX;
             let due = cycle + self.cfg.retransmit_timeout_cycles;
             self.nics[src.idx()].retransmit.push(Reverse((due, pid)));
-            if let Some(sc) = self.sched.as_deref_mut() {
-                sc.wake_nic_at(due, src.0);
-            }
+            self.sched_wake_nic_at(due, src.0);
             self.faults.as_deref_mut().unwrap().rel.retransmissions += 1;
             if let Some(c) = &mut self.counters {
                 c.retransmits += 1;
@@ -2367,9 +2473,7 @@ impl<'a> Simulator<'a> {
                     let ch = &mut self.channels[in_chan as usize];
                     let _ = ch.take_ctl_arrival(cycle);
                     ch.send_ctl(cycle, sym);
-                    if let Some(sc) = self.sched.as_deref_mut() {
-                        sc.note_ctl(cycle, in_chan);
-                    }
+                    self.sched_note_ctl(cycle, in_chan);
                 }
                 if let Some(po) = clear_out {
                     if let Some(o) = self.switches[s].outp[po as usize].as_mut() {

@@ -121,12 +121,23 @@ pub fn assert_equivalent(build: fn() -> Topology, scheme: RoutingScheme) {
 }
 
 /// Faulted-run obligation: a single link fails and is repaired, and
-/// every contender must agree on `RunStats`, `ReliabilityStats` and the
-/// digest. (`Parallel` falls back to the active-set engine when faults
-/// are armed — mid-cycle global purges are inherently cross-shard — so
-/// its rows re-check the fallback path; they must still agree bit for
-/// bit.)
+/// every contender — including every `Parallel` shard count, which runs
+/// the real sharded engine with purges replayed at the epoch barrier
+/// (`DESIGN.md` §4f) — must agree on `RunStats`, the unified counter
+/// snapshot, `ReliabilityStats` and the delivered-message digest, bit
+/// for bit.
 pub fn assert_equivalent_faulted(build: fn() -> Topology, scheme: RoutingScheme) {
+    assert_equivalent_faulted_with(build, scheme, cfg());
+}
+
+/// [`assert_equivalent_faulted`] with a caller-supplied `SimConfig`, so
+/// suites can e.g. shrink `reconfig_latency_cycles` to force a full
+/// reconfiguration inside the measurement window.
+pub fn assert_equivalent_faulted_with(
+    build: fn() -> Topology,
+    scheme: RoutingScheme,
+    config: SimConfig,
+) -> ReliabilityStats {
     let run = |scheduler: Scheduler| {
         let topo = build();
         let link = topo
@@ -142,7 +153,7 @@ pub fn assert_equivalent_faulted(build: fn() -> Topology, scheme: RoutingScheme)
             scheme,
             RouteDbConfig::default(),
             PatternSpec::Uniform,
-            cfg(),
+            config.clone(),
         )
         .unwrap();
         let run_opts = RunOptions {
@@ -155,6 +166,10 @@ pub fn assert_equivalent_faulted(build: fn() -> Topology, scheme: RoutingScheme)
     let t_scan = t_scan.unwrap();
     for sched in contenders() {
         let (s_other, r_other, t_other) = run(sched);
+        assert_eq!(
+            s_scan.counters, s_other.counters,
+            "counter snapshots diverged under faults ({sched:?})"
+        );
         assert_eq!(
             s_scan, s_other,
             "RunStats diverged under faults ({sched:?})"
@@ -174,6 +189,14 @@ pub fn assert_equivalent_faulted(build: fn() -> Topology, scheme: RoutingScheme)
         r_scan.link_failures == 1 && r_scan.repairs == 1,
         "the plan must have fired: {r_scan:?}"
     );
+    assert!(
+        s_scan
+            .counters
+            .as_ref()
+            .is_some_and(|c| c.total_events() > 0),
+        "the faulted equivalence must cover real traffic"
+    );
+    r_scan
 }
 
 /// Full-observer obligation: the event journal exported as a Chrome

@@ -58,12 +58,76 @@ fn cplant_itb_rr_schedulers_agree() {
 }
 
 /// Faults exercise the phase-0 control path (purge GO symbols delivered
-/// the same cycle), the retransmission wake-ups and — for the
-/// event-driven driver — the fault/reconfiguration time sources; every
-/// scheduler must agree there too.
+/// the same cycle), the deferred loss replay at the epoch barrier, the
+/// retransmission wake-ups and — for the event-driven driver — the
+/// fault/reconfiguration time sources; every scheduler must agree there
+/// too, on every paper topology × routing scheme.
 #[test]
-fn faulted_run_schedulers_agree() {
+fn faulted_torus_updown_schedulers_agree() {
+    assert_equivalent_faulted(torus, RoutingScheme::UpDown);
+}
+
+#[test]
+fn faulted_torus_itb_sp_schedulers_agree() {
+    assert_equivalent_faulted(torus, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn faulted_torus_itb_rr_schedulers_agree() {
     assert_equivalent_faulted(torus, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn faulted_express_updown_schedulers_agree() {
+    assert_equivalent_faulted(express, RoutingScheme::UpDown);
+}
+
+#[test]
+fn faulted_express_itb_sp_schedulers_agree() {
+    assert_equivalent_faulted(express, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn faulted_express_itb_rr_schedulers_agree() {
+    assert_equivalent_faulted(express, RoutingScheme::ItbRr);
+}
+
+#[test]
+fn faulted_cplant_updown_schedulers_agree() {
+    assert_equivalent_faulted(cplant, RoutingScheme::UpDown);
+}
+
+#[test]
+fn faulted_cplant_itb_sp_schedulers_agree() {
+    assert_equivalent_faulted(cplant, RoutingScheme::ItbSp);
+}
+
+#[test]
+fn faulted_cplant_itb_rr_schedulers_agree() {
+    assert_equivalent_faulted(cplant, RoutingScheme::ItbRr);
+}
+
+/// With the default 100 µs mapper latency the 12k-cycle window ends
+/// before reconfiguration completes, so the equivalence above never sees
+/// a route-table swap. Shrink the latency so both the failure and the
+/// repair reconfigure *inside* the window — the swap rebuilds the
+/// effective `RouteDb` and re-runs path selection, all of which must
+/// stay bit-identical across engines.
+#[test]
+fn faulted_reconfiguration_mid_run_schedulers_agree() {
+    let rel = assert_equivalent_faulted_with(
+        torus,
+        RoutingScheme::ItbRr,
+        SimConfig {
+            payload_flits: 64,
+            reconfig_latency_cycles: 2_000,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        rel.reconfigurations >= 1,
+        "the window must contain a completed reconfiguration: {rel:?}"
+    );
 }
 
 /// The full observability stack — event journal exported as a Chrome
@@ -96,4 +160,16 @@ fn parallel_forced_multi_worker_agrees() {
         (d_par, n_par),
         "trace digest diverged with forced workers"
     );
+}
+
+/// The forced-multi-executor check again, but with the fault plan armed:
+/// phase 0 mutates fault state with the workers parked, and the loss
+/// replay folds shard-local `(component, packet)` pairs in component
+/// order, so a real 4-executor pool must still match the active set bit
+/// for bit on a faulted run.
+#[test]
+fn parallel_forced_multi_worker_faulted_agrees() {
+    std::env::set_var("REGNET_PAR_WORKERS", "4");
+    assert_equivalent_faulted(torus, RoutingScheme::ItbRr);
+    std::env::remove_var("REGNET_PAR_WORKERS");
 }
